@@ -1,0 +1,277 @@
+package cocg_test
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out. Each benchmark runs
+// the corresponding experiment end-to-end in fast mode (so `go test
+// -bench=.` completes in minutes) and reports the headline quantity as a
+// custom metric; `go run ./cmd/cocg` runs the same experiments at full
+// scale.
+
+import (
+	"sync"
+	"testing"
+
+	"cocg/internal/experiments"
+)
+
+var (
+	benchCtxOnce sync.Once
+	benchCtx     *experiments.Context
+	benchCtxErr  error
+)
+
+// ctxForBench trains the five-game system once for all benchmarks.
+func ctxForBench(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchCtxOnce.Do(func() {
+		benchCtx, benchCtxErr = experiments.NewContext(experiments.Options{Seed: 1, Fast: true})
+	})
+	if benchCtxErr != nil {
+		b.Fatal(benchCtxErr)
+	}
+	return benchCtx
+}
+
+func BenchmarkTableI(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableI(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 13 {
+			b.Fatalf("Table I rows = %d, want 13", len(r.Rows))
+		}
+	}
+}
+
+func BenchmarkFig2StageTrace(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Stages) < 3 {
+			b.Fatal("too few stages in the Fig. 2 trace")
+		}
+	}
+}
+
+func BenchmarkFig5CSGOClustering(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6DMCClustering(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9Colocation(b *testing.B) {
+	ctx := ctxForBench(b)
+	var last *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(last.SustainedTotal, "p95-combined-util-%")
+		b.ReportMetric(100*last.Summary.MeanDegraded, "degraded-%")
+	}
+}
+
+func BenchmarkFig10Savings(b *testing.B) {
+	ctx := ctxForBench(b)
+	var last *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(100*last.AvgSaving, "avg-saving-%")
+	}
+}
+
+func BenchmarkFig11Throughput(b *testing.B) {
+	ctx := ctxForBench(b)
+	var last *experiments.Fig11Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(100*last.Improvement, "cocg-improvement-%")
+	}
+}
+
+func BenchmarkFig12Overhead(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig12(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.AllCovered {
+			b.Fatal("prediction latency exceeded a loading window")
+		}
+	}
+}
+
+func BenchmarkFig13FPS(b *testing.B) {
+	ctx := ctxForBench(b)
+	var last *experiments.Fig13Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig13(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(100*last.MeanCoCG, "cocg-fps-%")
+		b.ReportMetric(100*last.MeanGAugur, "gaugur-fps-%")
+	}
+}
+
+func BenchmarkFig14ElbowSweep(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig14(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Curves) != 5 {
+			b.Fatal("expected five sweep curves")
+		}
+	}
+}
+
+func BenchmarkFig15Accuracy(b *testing.B) {
+	ctx := ctxForBench(b)
+	var last *experiments.Fig15Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig15(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if last != nil {
+		var dtc float64
+		var n int
+		for _, row := range last.Rows {
+			if v, ok := row.Accuracy["DTC"]; ok && row.Samples > 0 {
+				dtc += v
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(100*dtc/float64(n), "mean-dtc-accuracy-%")
+		}
+	}
+}
+
+func BenchmarkAblationCategory(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.CategoryAblation(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRedundancy(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RedundancyAblation(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLoadingSteal(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LoadingStealAblation(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFrameInterval(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.FrameIntervalAblation(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationClustering(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GraphPartitionAblation(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaleOut(b *testing.B) {
+	ctx := ctxForBench(b)
+	var last *experiments.ScaleOutResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ScaleOut(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	if last != nil && len(last.Rows) > 0 {
+		b.ReportMetric(last.Rows[len(last.Rows)-1].PerServer, "per-server-throughput")
+	}
+}
+
+func BenchmarkOnlineLearning(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.OnlineLearning(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPlacement(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PlacementAblation(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPairMatrix(b *testing.B) {
+	ctx := ctxForBench(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PairMatrix(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Command cocg-train runs the one-time offline pass (profiling corpus, frame
+// clustering, stage catalogs, predictor training) for the five-game suite
+// and writes the trained system to a bundle file that cocg-sim and
+// cocg-server can load without retraining — the paper's "profiling and model
+// training only need to be performed once" made literal.
+//
+// Usage:
+//
+//	cocg-train [-o system.cocg.gz] [-players N] [-sessions N] [-seed S] [game ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cocg/internal/core"
+	"cocg/internal/gamesim"
+	"cocg/internal/persist"
+)
+
+func main() {
+	out := flag.String("o", "system.cocg.gz", "output bundle path")
+	players := flag.Int("players", 12, "players per game in the profiling corpus")
+	sessions := flag.Int("sessions", 4, "sessions per player")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	specs := gamesim.AllGames()
+	if flag.NArg() > 0 {
+		specs = specs[:0]
+		for _, name := range flag.Args() {
+			g, err := gamesim.GameByName(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			specs = append(specs, g)
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("training %d games (%d players x %d sessions each)...\n",
+		len(specs), *players, *sessions)
+	sys, err := core.Train(specs, core.TrainOptions{
+		Players: *players, SessionsPerPlayer: *sessions, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, game := range sys.Games() {
+		b, _ := sys.Bundle(game)
+		fmt.Printf("  %-15s %d stage types, DTC accuracy %.0f%%, %d habit models\n",
+			game, b.Profile.NumStageTypes(), 100*b.OfflineAccuracy, len(b.HabitModels))
+	}
+	if err := persist.SaveFile(sys, *out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d KiB) in %v\n", *out, info.Size()/1024, time.Since(start).Round(time.Millisecond))
+}

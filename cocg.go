@@ -1,0 +1,113 @@
+// Package cocg is the public facade of the CoCG reproduction: fine-grained
+// cloud-game co-location on a heterogeneous platform (Wang et al., IPDPS
+// 2024).
+//
+// CoCG breaks cloud games into 5-second frames and loading-separated stages,
+// clusters the frames to derive per-game stage-type catalogs, predicts each
+// session's next stage with per-category-trained ML models, and schedules
+// complementary games onto shared GPU servers — stealing time from loading
+// stages when predicted peaks threaten to collide.
+//
+// The typical journey:
+//
+//	sys, err := cocg.Train(cocg.AllGames(), cocg.TrainOptions{Seed: 1})
+//	cluster := sys.NewCluster(4, cocg.PolicyCoCG)
+//	gen := sys.Generator(7)
+//	cluster.Submit(gen.Next(cocg.AllGames()[0]))
+//	cluster.Run(cocg.Hour)
+//	records := cluster.Records()
+//	fmt.Println(cocg.Throughput(records, nil), cocg.Summarize(records))
+//
+// The facade re-exports the stable surface of the internal packages; the
+// full API (profiler internals, predictor details, experiment harnesses)
+// lives under internal/ and is documented there.
+package cocg
+
+import (
+	"io"
+
+	"cocg/internal/core"
+	"cocg/internal/gamesim"
+	"cocg/internal/persist"
+	"cocg/internal/platform"
+	"cocg/internal/resources"
+	"cocg/internal/simclock"
+)
+
+// Re-exported core types.
+type (
+	// System is a fully trained CoCG deployment for a set of games.
+	System = core.System
+	// TrainOptions shapes the offline training pass.
+	TrainOptions = core.TrainOptions
+	// PolicyKind selects a co-location scheme.
+	PolicyKind = core.PolicyKind
+	// GameSpec describes one cloud game's stage machine.
+	GameSpec = gamesim.GameSpec
+	// Session is one running game instance.
+	Session = gamesim.Session
+	// Cluster is a set of servers with a pending-arrival queue.
+	Cluster = platform.Cluster
+	// Record is the outcome of one completed session.
+	Record = platform.Record
+	// QoSSummary aggregates QoS over records.
+	QoSSummary = platform.QoSSummary
+	// Vector is a point in CPU/GPU/GPU-mem/RAM resource space.
+	Vector = resources.Vector
+	// Seconds is virtual time.
+	Seconds = simclock.Seconds
+)
+
+// The evaluated scheduling policies.
+const (
+	PolicyCoCG     = core.PolicyCoCG
+	PolicyVBP      = core.PolicyVBP
+	PolicyGAugur   = core.PolicyGAugur
+	PolicyReactive = core.PolicyReactive
+)
+
+// Time spans.
+const (
+	Second = simclock.Second
+	Minute = simclock.Minute
+	Hour   = simclock.Hour
+)
+
+// Train runs the complete offline pipeline (profiling corpus, frame
+// clustering, stage catalogs, predictor training) for every game.
+func Train(specs []*GameSpec, opts TrainOptions) (*System, error) {
+	return core.Train(specs, opts)
+}
+
+// AllGames returns the paper's five evaluated workloads.
+func AllGames() []*GameSpec { return gamesim.AllGames() }
+
+// GameByName resolves one of the five games by name.
+func GameByName(name string) (*GameSpec, error) { return gamesim.GameByName(name) }
+
+// NewSession realizes a playable session of a game script.
+func NewSession(spec *GameSpec, script int, seed int64) (*Session, error) {
+	return gamesim.NewSession(spec, script, seed)
+}
+
+// Throughput computes the paper's Eq. 2 over completed records.
+func Throughput(records []Record, ref map[string]float64) float64 {
+	return platform.Throughput(records, ref)
+}
+
+// Summarize aggregates QoS over completed records.
+func Summarize(records []Record) QoSSummary { return platform.Summarize(records) }
+
+// SaveSystem persists a trained system (gzip JSON); training happens once.
+func SaveSystem(sys *System, w io.Writer) error { return persist.Save(sys, w) }
+
+// LoadSystem restores a system previously written with SaveSystem.
+func LoadSystem(r io.Reader) (*System, error) { return persist.Load(r) }
+
+// LoadGameSpec parses a custom game description from JSON, so downstream
+// deployments can schedule their own titles; see internal/gamesim's spec
+// format.
+func LoadGameSpec(r io.Reader) (*GameSpec, error) { return gamesim.LoadSpec(r) }
+
+// SaveGameSpec writes a game description as JSON.
+func SaveGameSpec(spec *GameSpec, w io.Writer) error { return gamesim.SaveSpec(spec, w) }

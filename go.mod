@@ -1,0 +1,3 @@
+module cocg
+
+go 1.22

@@ -1,0 +1,263 @@
+// Package cluster implements the frame-clustering algorithms of Section IV-A2
+// and the K-sweep of Fig. 14: K-means with k-means++ seeding (the method the
+// paper adopts) and a graph-partitioning baseline it compares against.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"cocg/internal/resources"
+)
+
+// ErrNoPoints is returned when clustering is attempted on an empty point set.
+var ErrNoPoints = errors.New("cluster: no points")
+
+// Result is the outcome of one clustering run.
+type Result struct {
+	// Centroids holds the K cluster centers, sorted by ascending dominant
+	// component so cluster 0 is always the "cheapest" (typically the loading
+	// cluster) and IDs are stable across runs.
+	Centroids []resources.Vector
+	// Assign maps each input point index to its cluster ID.
+	Assign []int
+	// SSE is the sum of squared distances from each point to its centroid,
+	// the quantity plotted on the Y axis of Fig. 14.
+	SSE float64
+	// Iterations is how many Lloyd iterations ran before convergence.
+	Iterations int
+}
+
+// K returns the number of clusters in the result.
+func (r *Result) K() int { return len(r.Centroids) }
+
+// Sizes returns how many points landed in each cluster.
+func (r *Result) Sizes() []int {
+	sizes := make([]int, r.K())
+	for _, c := range r.Assign {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// Nearest returns the ID of the centroid closest to p; the profiler uses it
+// to label frames that arrive after the offline clustering pass.
+func (r *Result) Nearest(p resources.Vector) int {
+	best, bestD := 0, math.Inf(1)
+	for i, c := range r.Centroids {
+		if d := p.Dist2(c); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// Config controls a K-means run.
+type Config struct {
+	K        int   // number of clusters, >= 1
+	MaxIter  int   // Lloyd iteration cap; defaults to 100
+	Seed     int64 // RNG seed for k-means++ seeding
+	Restarts int   // independent restarts, best SSE wins; defaults to 4
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxIter <= 0 {
+		out.MaxIter = 100
+	}
+	if out.Restarts <= 0 {
+		out.Restarts = 4
+	}
+	return out
+}
+
+// KMeans clusters points into cfg.K clusters and returns the best result over
+// cfg.Restarts independent k-means++ initializations.
+func KMeans(points []resources.Vector, cfg Config) (*Result, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("cluster: invalid K %d", cfg.K)
+	}
+	c := cfg.withDefaults()
+	k := c.K
+	if k > len(points) {
+		k = len(points)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	var best *Result
+	for r := 0; r < c.Restarts; r++ {
+		res := lloyd(points, k, c.MaxIter, rng)
+		if best == nil || res.SSE < best.SSE {
+			best = res
+		}
+	}
+	sortCentroids(best)
+	return best, nil
+}
+
+// lloyd runs one k-means++ initialization followed by Lloyd iterations.
+func lloyd(points []resources.Vector, k, maxIter int, rng *rand.Rand) *Result {
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	for i := range assign {
+		assign[i] = -1
+	}
+	var iterations int
+	for iter := 0; iter < maxIter; iter++ {
+		iterations = iter + 1
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := p.Dist2(cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Recompute centroids; an emptied cluster keeps its old center,
+		// which is the standard fix and keeps K stable.
+		sums := make([]resources.Vector, k)
+		counts := make([]int, k)
+		for i, p := range points {
+			sums[assign[i]] = sums[assign[i]].Add(p)
+			counts[assign[i]]++
+		}
+		for c := range centroids {
+			if counts[c] > 0 {
+				centroids[c] = sums[c].Scale(1 / float64(counts[c]))
+			}
+		}
+	}
+	res := &Result{Centroids: centroids, Assign: assign, Iterations: iterations}
+	res.SSE = sse(points, centroids, assign)
+	return res
+}
+
+// seedPlusPlus picks k initial centers with the k-means++ D² weighting.
+func seedPlusPlus(points []resources.Vector, k int, rng *rand.Rand) []resources.Vector {
+	centroids := make([]resources.Vector, 0, k)
+	centroids = append(centroids, points[rng.Intn(len(points))])
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		last := centroids[len(centroids)-1]
+		for i, p := range points {
+			d := p.Dist2(last)
+			if len(centroids) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with a center; duplicate one.
+			centroids = append(centroids, points[rng.Intn(len(points))])
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		chosen := len(points) - 1
+		for i, w := range d2 {
+			acc += w
+			if acc >= target {
+				chosen = i
+				break
+			}
+		}
+		centroids = append(centroids, points[chosen])
+	}
+	return centroids
+}
+
+func sse(points, centroids []resources.Vector, assign []int) float64 {
+	var s float64
+	for i, p := range points {
+		s += p.Dist2(centroids[assign[i]])
+	}
+	return s
+}
+
+// sortCentroids renumbers clusters by ascending dominant resource so IDs are
+// deterministic: cluster 0 is the low-consumption (loading-like) cluster.
+func sortCentroids(r *Result) {
+	k := len(r.Centroids)
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := r.Centroids[order[a]], r.Centroids[order[b]]
+		if da, db := ca.Dominant(), cb.Dominant(); da != db {
+			return da < db
+		}
+		return ca.L2() < cb.L2()
+	})
+	remap := make([]int, k)
+	newCents := make([]resources.Vector, k)
+	for newID, oldID := range order {
+		remap[oldID] = newID
+		newCents[newID] = r.Centroids[oldID]
+	}
+	r.Centroids = newCents
+	for i, a := range r.Assign {
+		r.Assign[i] = remap[a]
+	}
+}
+
+// SweepPoint is one (K, SSE) sample of Fig. 14.
+type SweepPoint struct {
+	K   int
+	SSE float64
+}
+
+// Sweep runs K-means for every K in [1, maxK] and returns the SSE curve of
+// Fig. 14. The same seed is reused so curves are reproducible.
+func Sweep(points []resources.Vector, maxK int, seed int64) ([]SweepPoint, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	out := make([]SweepPoint, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		res, err := KMeans(points, Config{K: k, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{K: k, SSE: res.SSE})
+	}
+	return out, nil
+}
+
+// Elbow picks the inflection point of an SSE curve: the K after which the
+// marginal SSE reduction falls below frac (e.g. 0.1 = 10 %) of the total
+// drop. This encodes the paper's "obvious inflection points" reading of
+// Fig. 14.
+func Elbow(curve []SweepPoint, frac float64) int {
+	if len(curve) == 0 {
+		return 0
+	}
+	if len(curve) == 1 {
+		return curve[0].K
+	}
+	total := curve[0].SSE - curve[len(curve)-1].SSE
+	if total <= 0 {
+		return curve[0].K
+	}
+	for i := 1; i < len(curve); i++ {
+		drop := curve[i-1].SSE - curve[i].SSE
+		if drop < frac*total {
+			return curve[i-1].K
+		}
+	}
+	return curve[len(curve)-1].K
+}

@@ -1,0 +1,218 @@
+package dataset
+
+import (
+	"testing"
+
+	"cocg/internal/gamesim"
+	"cocg/internal/mlmodels"
+	"cocg/internal/profiler"
+	"cocg/internal/resources"
+)
+
+func corpusAndProfile(t *testing.T, spec *gamesim.GameSpec, players, sessions int) ([]*gamesim.Trace, *profiler.Profile) {
+	t.Helper()
+	corpus, err := gamesim.RecordPlayerCorpus(spec, gamesim.CorpusConfig{
+		Players: players, SessionsPerPlayer: sessions, Seed: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := profiler.Build(corpus, profiler.Config{K: len(spec.Clusters), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus, p
+}
+
+func TestStrategyFor(t *testing.T) {
+	cases := map[gamesim.Category]Strategy{
+		gamesim.Web: Global, gamesim.Mobile: PerPlayer,
+		gamesim.Console: WholeProcess, gamesim.MMORPG: Cohort,
+	}
+	for cat, want := range cases {
+		if got := StrategyFor(cat); got != want {
+			t.Errorf("StrategyFor(%v) = %v, want %v", cat, got, want)
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for _, s := range []Strategy{Global, PerPlayer, WholeProcess, Cohort} {
+		if s.String() == "strategy(?)" {
+			t.Errorf("strategy %d unnamed", s)
+		}
+	}
+}
+
+func TestFeaturesShapeAndPadding(t *testing.T) {
+	hist := []StageObs{{ID: 2, Frames: 10, Mean: resources.New(1, 2, 3, 4)}}
+	f := Features(hist, 0)
+	if len(f) != NumFeatures {
+		t.Fatalf("feature length = %d, want %d", len(f), NumFeatures)
+	}
+	// With a single stage, all history slots are -1 padding.
+	for i := 0; i < HistoryLen; i++ {
+		if f[i] != -1 {
+			t.Errorf("history slot %d = %v, want -1", i, f[i])
+		}
+	}
+	if f[HistoryLen] != 2 || f[HistoryLen+1] != 10 {
+		t.Errorf("current stage features wrong: %v", f)
+	}
+	if f[len(f)-1] != 0 {
+		t.Errorf("position feature = %v", f[len(f)-1])
+	}
+}
+
+func TestFeaturesHistoryOrder(t *testing.T) {
+	hist := []StageObs{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}, {ID: 5}}
+	f := Features(hist, 4)
+	// History slots hold stages 2, 3, 4 (oldest first), current is 5.
+	if f[0] != 2 || f[1] != 3 || f[2] != 4 || f[3] != 5 {
+		t.Errorf("history features = %v", f[:4])
+	}
+	if f[len(f)-1] != 4 {
+		t.Errorf("position = %v", f[len(f)-1])
+	}
+}
+
+func TestFromTraceProducesTransitions(t *testing.T) {
+	spec := gamesim.GenshinImpact()
+	corpus, p := corpusAndProfile(t, spec, 4, 2)
+	e := &Extractor{P: p}
+	total := 0
+	for _, tr := range corpus {
+		ts := e.FromTrace(tr)
+		total += len(ts)
+		for _, tt := range ts {
+			if len(tt.Features) != NumFeatures {
+				t.Fatalf("feature length %d", len(tt.Features))
+			}
+			if tt.Label < 0 || tt.Label >= p.NumStageTypes() {
+				t.Fatalf("label %d out of catalog range", tt.Label)
+			}
+			if tt.Player != tr.Player || tt.Cohort != tr.Cohort {
+				t.Fatal("provenance not propagated")
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no transitions extracted")
+	}
+}
+
+func TestFromChainCrossesSessionBoundaries(t *testing.T) {
+	spec := gamesim.DevilMayCry()
+	corpus, p := corpusAndProfile(t, spec, 2, 3)
+	e := &Extractor{P: p}
+	// Transitions per session, summed.
+	var perSession int
+	byPlayer := map[int64][]*gamesim.Trace{}
+	for _, tr := range corpus {
+		perSession += len(e.FromTrace(tr))
+		byPlayer[tr.Player] = append(byPlayer[tr.Player], tr)
+	}
+	var chained int
+	for _, ts := range byPlayer {
+		chained += len(e.FromChain(ts))
+	}
+	// Chaining adds one cross-boundary transition per session joint.
+	if chained <= perSession {
+		t.Errorf("chained transitions %d not more than per-session %d", chained, perSession)
+	}
+	if e.FromChain(nil) != nil {
+		t.Error("FromChain(nil) should be nil")
+	}
+}
+
+func TestSelectGroupCounts(t *testing.T) {
+	spec := gamesim.DOTA2() // MMORPG: cohorts of 4
+	corpus, p := corpusAndProfile(t, spec, 8, 2)
+	e := &Extractor{P: p}
+
+	if g := Select(Global, e, corpus); len(g) != 1 {
+		t.Errorf("Global groups = %d", len(g))
+	}
+	if g := Select(WholeProcess, e, corpus); len(g) != 1 {
+		t.Errorf("WholeProcess groups = %d", len(g))
+	}
+	if g := Select(PerPlayer, e, corpus); len(g) != 8 {
+		t.Errorf("PerPlayer groups = %d, want 8", len(g))
+	}
+	if g := Select(Cohort, e, corpus); len(g) != 2 {
+		t.Errorf("Cohort groups = %d, want 2", len(g))
+	}
+}
+
+func TestSelectDeterministicOrder(t *testing.T) {
+	spec := gamesim.GenshinImpact()
+	corpus, p := corpusAndProfile(t, spec, 5, 2)
+	e := &Extractor{P: p}
+	a := Select(PerPlayer, e, corpus)
+	b := Select(PerPlayer, e, corpus)
+	if len(a) != len(b) {
+		t.Fatal("group counts differ")
+	}
+	for i := range a {
+		if len(a[i].Transitions) != len(b[i].Transitions) {
+			t.Fatalf("group %d sizes differ", i)
+		}
+	}
+}
+
+func TestToDataset(t *testing.T) {
+	spec := gamesim.Contra()
+	corpus, p := corpusAndProfile(t, spec, 3, 2)
+	e := &Extractor{P: p}
+	groups := Select(Global, e, corpus)
+	ds, err := ToDataset(groups[0].Transitions, p.NumStageTypes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumFeatures != NumFeatures {
+		t.Errorf("NumFeatures = %d", ds.NumFeatures)
+	}
+	if ds.NumClasses < p.NumStageTypes() {
+		t.Errorf("NumClasses = %d < catalog %d", ds.NumClasses, p.NumStageTypes())
+	}
+	if _, err := ToDataset(nil, 3); err == nil {
+		t.Error("empty transitions did not error")
+	}
+}
+
+func TestEndToEndLearnability(t *testing.T) {
+	// A decision tree trained on extracted transitions must beat the
+	// majority-class baseline on a predictable (console) game.
+	spec := gamesim.DevilMayCry()
+	corpus, p := corpusAndProfile(t, spec, 6, 2)
+	e := &Extractor{P: p}
+	groups := Select(WholeProcess, e, corpus)
+	ds, err := ToDataset(groups[0].Transitions, p.NumStageTypes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.75, 11)
+	m := mlmodels.NewDecisionTree(mlmodels.TreeConfig{Seed: 1})
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := mlmodels.Evaluate(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Majority baseline.
+	counts := map[int]int{}
+	for _, s := range ds.Samples {
+		counts[s.Label]++
+	}
+	maj := 0
+	for _, n := range counts {
+		if n > maj {
+			maj = n
+		}
+	}
+	base := float64(maj) / float64(ds.Len())
+	if acc <= base {
+		t.Errorf("DTC accuracy %.3f not above majority baseline %.3f", acc, base)
+	}
+}

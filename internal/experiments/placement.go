@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"cocg/internal/core"
+	"cocg/internal/gamesim"
+	"cocg/internal/platform"
+	"cocg/internal/simclock"
+	"cocg/internal/workload"
+)
+
+// firstFit hides the CoCG policy's Scorer so the cluster falls back to
+// first-fit placement; admission and regulation are unchanged.
+type firstFit struct {
+	platform.Policy
+}
+
+// PlacementRow is one placement strategy's outcome.
+type PlacementRow struct {
+	Strategy   string
+	Throughput float64
+	Sessions   int
+	Degraded   float64
+}
+
+// PlacementAblationResult compares best-fit (score by predicted
+// complementarity) against first-fit placement over a multi-server cluster —
+// the distributor design choice in Algorithm 1's surrounding text.
+type PlacementAblationResult struct {
+	Rows []PlacementRow
+}
+
+// PlacementAblation runs the same mixed stream under both strategies.
+func PlacementAblation(ctx *Context) (*PlacementAblationResult, error) {
+	out := &PlacementAblationResult{}
+	horizon := ctx.horizon() / 2
+	ref := ctx.refDurations()
+	for _, strat := range []string{"best-fit", "first-fit"} {
+		pol := ctx.System.Policy(core.PolicyCoCG)
+		if strat == "first-fit" {
+			pol = &firstFit{Policy: pol}
+		}
+		c := platform.NewCluster(3, pol)
+		c.StarveLimit = 5 * simclock.Minute
+		gen := ctx.System.Generator(ctx.Opt.Seed + 23)
+		stream := workload.NewMixStream(gen, gamesim.AllGames(), 0.025, ctx.Opt.Seed+29)
+		for i := simclock.Seconds(0); i < horizon; i++ {
+			stream.Feed(c)
+			c.Tick()
+		}
+		recs := c.Records()
+		row := PlacementRow{Strategy: strat, Sessions: len(recs)}
+		row.Throughput = platform.Throughput(recs, ref)
+		for _, r := range recs {
+			row.Degraded += r.Degraded
+		}
+		if len(recs) > 0 {
+			row.Degraded /= float64(len(recs))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// String renders the comparison.
+func (r *PlacementAblationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation: distributor placement — best-fit (complementarity score) vs first-fit\n")
+	t := &table{header: []string{"strategy", "throughput", "sessions", "degraded"}}
+	for _, row := range r.Rows {
+		t.add(row.Strategy, fmt.Sprintf("%.0f", row.Throughput), fmt.Sprint(row.Sessions), pct(row.Degraded))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

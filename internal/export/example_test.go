@@ -1,0 +1,27 @@
+package export_test
+
+import (
+	"fmt"
+	"os"
+
+	"cocg/internal/export"
+)
+
+// ExampleSparkline renders a compact terminal chart of a utilization series.
+func ExampleSparkline() {
+	values := []float64{0, 10, 20, 40, 80, 40, 20, 10, 0}
+	fmt.Println(export.Sparkline(values, 0))
+	// Output: ▁▁▂▄█▄▂▁▁
+}
+
+// ExampleSeries_WriteCSV dumps a figure series as CSV for external plotting.
+func ExampleSeries_WriteCSV() {
+	s := export.NewSeries("fig9", "second", "genshin", "dota2")
+	s.Add(42.5, 18.0)
+	s.Add(70.0, 4.5)
+	s.WriteCSV(os.Stdout)
+	// Output:
+	// second,genshin,dota2
+	// 0,42.500,18.000
+	// 1,70.000,4.500
+}

@@ -1,0 +1,194 @@
+// Package export renders experiment series as CSV files (for external
+// plotting) and as ASCII charts (for terminal inspection), so every figure
+// of the paper can be eyeballed straight from the experiment driver.
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Series is a named set of aligned columns sampled over time.
+type Series struct {
+	Name    string
+	XLabel  string
+	Columns []string
+	Rows    [][]float64
+}
+
+// NewSeries builds an empty series with the given columns.
+func NewSeries(name, xlabel string, columns ...string) *Series {
+	return &Series{Name: name, XLabel: xlabel, Columns: columns}
+}
+
+// Add appends one row; the value count must match the column count.
+func (s *Series) Add(values ...float64) error {
+	if len(values) != len(s.Columns) {
+		return fmt.Errorf("export: row has %d values, want %d", len(values), len(s.Columns))
+	}
+	s.Rows = append(s.Rows, values)
+	return nil
+}
+
+// Len returns the number of rows.
+func (s *Series) Len() int { return len(s.Rows) }
+
+// Column extracts one column by name.
+func (s *Series) Column(name string) ([]float64, bool) {
+	idx := -1
+	for i, c := range s.Columns {
+		if c == name {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	out := make([]float64, len(s.Rows))
+	for i, r := range s.Rows {
+		out[i] = r[idx]
+	}
+	return out, true
+}
+
+// WriteCSV emits the series with a header row; the first column is the row
+// index under XLabel.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{s.XLabel}, s.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, row := range s.Rows {
+		rec := make([]string, 0, len(row)+1)
+		rec = append(rec, strconv.Itoa(i))
+		for _, v := range row {
+			rec = append(rec, strconv.FormatFloat(v, 'f', 3, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the series to dir/<name>.csv, creating dir if needed.
+func (s *Series) SaveCSV(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, sanitize(s.Name)+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := s.WriteCSV(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}
+
+// sanitize turns a series name into a safe file stem.
+func sanitize(name string) string {
+	var b strings.Builder
+	prevDash := false
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+			prevDash = false
+		case r == ' ', r == '/', r == '-', r == '_':
+			if !prevDash {
+				b.WriteByte('-')
+				prevDash = true
+			}
+		}
+	}
+	out := strings.Trim(b.String(), "-")
+	if out == "" {
+		out = "series"
+	}
+	return out
+}
+
+// sparkRunes are the eight-level block characters of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a compact one-line chart, downsampling to at
+// most width points (0 = no limit).
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	vs := values
+	if width > 0 && len(vs) > width {
+		vs = downsample(vs, width)
+	}
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range vs {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// downsample averages values into n buckets.
+func downsample(values []float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(values) / n
+		hi := (i + 1) * len(values) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}
+
+// Chart renders a multi-line ASCII chart of the series' columns, one
+// sparkline per column with min/max annotations — enough to see the shape
+// of Figs. 2, 9, and 10 in a terminal.
+func Chart(s *Series, width int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (x = %s, %d samples)\n", s.Name, s.XLabel, s.Len())
+	nameW := 0
+	for _, c := range s.Columns {
+		if len(c) > nameW {
+			nameW = len(c)
+		}
+	}
+	for _, col := range s.Columns {
+		vals, _ := s.Column(col)
+		if len(vals) == 0 {
+			continue
+		}
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		fmt.Fprintf(&b, "  %-*s %s  [%.1f..%.1f]\n", nameW, col, Sparkline(vals, width), lo, hi)
+	}
+	return b.String()
+}

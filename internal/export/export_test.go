@@ -1,0 +1,146 @@
+package export
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode/utf8"
+)
+
+func TestSeriesAddAndColumn(t *testing.T) {
+	s := NewSeries("test", "t", "a", "b")
+	if err := s.Add(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(1, 2, 3); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	a, ok := s.Column("a")
+	if !ok || a[0] != 1 || a[1] != 3 {
+		t.Errorf("Column(a) = %v, %v", a, ok)
+	}
+	if _, ok := s.Column("zzz"); ok {
+		t.Error("missing column found")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := NewSeries("fig", "sec", "util")
+	s.Add(50)
+	s.Add(75.5)
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "sec,util" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "1,75.5") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestSaveCSV(t *testing.T) {
+	dir := t.TempDir()
+	s := NewSeries("Fig 9 / Co-location", "t", "x")
+	s.Add(1)
+	path, err := s.SaveCSV(filepath.Join(dir, "sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "fig-9-co-location.csv" {
+		t.Errorf("file name = %s", filepath.Base(path))
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"Fig 10":     "fig-10",
+		"***":        "series",
+		"A/B_c":      "a-b-c",
+		"  spaces  ": "spaces",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty sparkline not empty")
+	}
+	flat := Sparkline([]float64{5, 5, 5}, 0)
+	if utf8.RuneCountInString(flat) != 3 {
+		t.Errorf("flat sparkline runes = %d", utf8.RuneCountInString(flat))
+	}
+	ramp := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+	runes := []rune(ramp)
+	if runes[0] != '▁' || runes[len(runes)-1] != '█' {
+		t.Errorf("ramp = %q", ramp)
+	}
+	// Downsampling caps the width.
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	if got := utf8.RuneCountInString(Sparkline(long, 40)); got != 40 {
+		t.Errorf("downsampled width = %d", got)
+	}
+}
+
+func TestDownsamplePreservesMean(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 10 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		var sum float64
+		for i, v := range raw {
+			vals[i] = float64(v)
+			sum += float64(v)
+		}
+		ds := downsample(vals, 10)
+		// Bucket means stay within the original range.
+		for _, v := range ds {
+			if v < 0 || v > 255 {
+				return false
+			}
+		}
+		return len(ds) == 10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChart(t *testing.T) {
+	s := NewSeries("util", "sec", "genshin", "dota2")
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i%70), float64((i*3)%40))
+	}
+	c := Chart(s, 50)
+	if !strings.Contains(c, "genshin") || !strings.Contains(c, "dota2") {
+		t.Errorf("chart missing columns: %s", c)
+	}
+	if !strings.Contains(c, "[0.0..69.0]") {
+		t.Errorf("chart missing range annotation: %s", c)
+	}
+}

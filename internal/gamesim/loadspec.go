@@ -1,0 +1,138 @@
+package gamesim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cocg/internal/resources"
+	"cocg/internal/simclock"
+)
+
+// The JSON game-spec format lets downstream users describe their own games
+// without writing Go: clusters, stage types, scripts, frame caps, loading
+// ranges. Every field mirrors GameSpec; durations are in seconds.
+
+// specFile is the on-disk form of a GameSpec.
+type specFile struct {
+	Name     string        `json:"name"`
+	Category string        `json:"category"`
+	Clusters []clusterFile `json:"clusters"`
+	Stages   []stageFile   `json:"stages"`
+	Scripts  []scriptFile  `json:"scripts"`
+	BaseFPS  float64       `json:"base_fps"`
+	FPSCap   float64       `json:"fps_cap,omitempty"`
+	LoadMin  int64         `json:"load_min_sec"`
+	LoadMax  int64         `json:"load_max_sec"`
+	// NominalLenSec is the advertised session length.
+	NominalLenSec int64   `json:"nominal_len_sec"`
+	SpikeRate     float64 `json:"spike_rate,omitempty"`
+}
+
+type clusterFile struct {
+	Name   string     `json:"name"`
+	Demand [4]float64 `json:"demand"` // cpu, gpu, gpumem, mem (percent)
+	Jitter float64    `json:"jitter"`
+}
+
+type stageFile struct {
+	Name      string  `json:"name"`
+	Clusters  []int   `json:"clusters"`
+	MeanSec   int64   `json:"mean_sec,omitempty"`
+	DurJitter float64 `json:"dur_jitter,omitempty"`
+}
+
+type scriptFile struct {
+	Name string `json:"name"`
+	Desc string `json:"desc,omitempty"`
+	Body []int  `json:"body"`
+}
+
+// categoryNames maps the JSON category strings.
+var categoryNames = map[string]Category{
+	"web": Web, "mobile": Mobile, "console": Console, "mmorpg": MMORPG,
+}
+
+// LoadSpec reads and validates a game spec from JSON.
+func LoadSpec(r io.Reader) (*GameSpec, error) {
+	var f specFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("gamesim: parsing spec: %w", err)
+	}
+	cat, ok := categoryNames[f.Category]
+	if !ok {
+		return nil, fmt.Errorf("gamesim: unknown category %q (web, mobile, console, mmorpg)", f.Category)
+	}
+	spec := &GameSpec{
+		Name:       f.Name,
+		Category:   cat,
+		BaseFPS:    f.BaseFPS,
+		FPSCap:     f.FPSCap,
+		LoadMin:    simclock.Seconds(f.LoadMin),
+		LoadMax:    simclock.Seconds(f.LoadMax),
+		NominalLen: simclock.Seconds(f.NominalLenSec),
+		SpikeRate:  f.SpikeRate,
+	}
+	for _, c := range f.Clusters {
+		spec.Clusters = append(spec.Clusters, ClusterSpec{
+			Name:   c.Name,
+			Demand: resources.Vector(c.Demand),
+			Jitter: c.Jitter,
+		})
+	}
+	for _, s := range f.Stages {
+		spec.StageTypes = append(spec.StageTypes, StageType{
+			Name:      s.Name,
+			Clusters:  s.Clusters,
+			MeanDur:   simclock.Seconds(s.MeanSec),
+			DurJitter: s.DurJitter,
+		})
+	}
+	for _, s := range f.Scripts {
+		spec.Scripts = append(spec.Scripts, Script{Name: s.Name, Desc: s.Desc, Body: s.Body})
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// SaveSpec writes a game spec as JSON (the inverse of LoadSpec).
+func SaveSpec(spec *GameSpec, w io.Writer) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	var catName string
+	for name, c := range categoryNames {
+		if c == spec.Category {
+			catName = name
+		}
+	}
+	f := specFile{
+		Name:          spec.Name,
+		Category:      catName,
+		BaseFPS:       spec.BaseFPS,
+		FPSCap:        spec.FPSCap,
+		LoadMin:       int64(spec.LoadMin),
+		LoadMax:       int64(spec.LoadMax),
+		NominalLenSec: int64(spec.NominalLen),
+		SpikeRate:     spec.SpikeRate,
+	}
+	for _, c := range spec.Clusters {
+		f.Clusters = append(f.Clusters, clusterFile{Name: c.Name, Demand: c.Demand, Jitter: c.Jitter})
+	}
+	for _, s := range spec.StageTypes {
+		f.Stages = append(f.Stages, stageFile{
+			Name: s.Name, Clusters: s.Clusters,
+			MeanSec: int64(s.MeanDur), DurJitter: s.DurJitter,
+		})
+	}
+	for _, s := range spec.Scripts {
+		f.Scripts = append(f.Scripts, scriptFile{Name: s.Name, Desc: s.Desc, Body: s.Body})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}

@@ -1,0 +1,107 @@
+package gamesim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, spec := range AllGames() {
+		var buf bytes.Buffer
+		if err := SaveSpec(spec, &buf); err != nil {
+			t.Fatalf("%s: save: %v", spec.Name, err)
+		}
+		back, err := LoadSpec(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", spec.Name, err)
+		}
+		if back.Name != spec.Name || back.Category != spec.Category {
+			t.Errorf("%s: identity changed", spec.Name)
+		}
+		if len(back.Clusters) != len(spec.Clusters) ||
+			len(back.StageTypes) != len(spec.StageTypes) ||
+			len(back.Scripts) != len(spec.Scripts) {
+			t.Errorf("%s: structure changed", spec.Name)
+		}
+		if back.EffectiveFPS() != spec.EffectiveFPS() {
+			t.Errorf("%s: FPS changed", spec.Name)
+		}
+		// A session of the loaded spec runs.
+		s, err := NewSession(back, 0, 5)
+		if err != nil {
+			t.Fatalf("%s: session: %v", spec.Name, err)
+		}
+		for i := 0; i < 100; i++ {
+			s.Step(s.Demand())
+		}
+	}
+}
+
+const customSpec = `{
+  "name": "My Racing Game",
+  "category": "console",
+  "clusters": [
+    {"name": "loading", "demand": [45, 4, 10, 25], "jitter": 2},
+    {"name": "menu", "demand": [15, 18, 12, 22], "jitter": 2},
+    {"name": "race", "demand": [50, 62, 40, 40], "jitter": 4}
+  ],
+  "stages": [
+    {"name": "loading", "clusters": [0]},
+    {"name": "menu", "clusters": [1], "mean_sec": 60, "dur_jitter": 0.2},
+    {"name": "race", "clusters": [2], "mean_sec": 240, "dur_jitter": 0.15}
+  ],
+  "scripts": [
+    {"name": "grand prix", "desc": "menu then two races", "body": [1, 2, 2]}
+  ],
+  "base_fps": 60,
+  "fps_cap": 60,
+  "load_min_sec": 10,
+  "load_max_sec": 18,
+  "nominal_len_sec": 900
+}`
+
+func TestLoadCustomSpec(t *testing.T) {
+	spec, err := LoadSpec(strings.NewReader(customSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "My Racing Game" || spec.Category != Console {
+		t.Errorf("loaded: %s %v", spec.Name, spec.Category)
+	}
+	if got := spec.ScriptStageTypeCount(0); got != 3 {
+		t.Errorf("stage types = %d, want 3", got)
+	}
+	tr, err := Record(spec, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Frames) == 0 {
+		t.Error("custom game produced no trace")
+	}
+}
+
+func TestLoadSpecRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "nope",
+		"unknown field":   `{"name":"x","bogus":1}`,
+		"bad category":    strings.Replace(customSpec, `"console"`, `"arcade"`, 1),
+		"loading renders": strings.Replace(customSpec, `[45, 4, 10, 25]`, `[45, 40, 10, 25]`, 1),
+		"short loads":     strings.Replace(customSpec, `"load_min_sec": 10`, `"load_min_sec": 1`, 1),
+		"no scripts":      strings.Replace(customSpec, `{"name": "grand prix", "desc": "menu then two races", "body": [1, 2, 2]}`, ``, 1),
+	}
+	for name, doc := range cases {
+		if _, err := LoadSpec(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: loaded", name)
+		}
+	}
+}
+
+func TestSaveSpecRejectsInvalid(t *testing.T) {
+	bad := Contra()
+	bad.Scripts = nil
+	var buf bytes.Buffer
+	if err := SaveSpec(bad, &buf); err == nil {
+		t.Error("invalid spec saved")
+	}
+}

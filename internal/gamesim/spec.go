@@ -1,0 +1,234 @@
+// Package gamesim is the cloud-game substrate: generative stage-machine
+// models that stand in for the real games of the paper's testbed (DOTA2,
+// CSGO, Genshin Impact, Devil May Cry, Contra under GamingAnywhere).
+//
+// CoCG never looks inside a game — it only observes the per-5-second
+// CPU/GPU/GPU-mem/RAM consumption vector. This package therefore reproduces
+// exactly that observable structure (Section III, Observations 1-4):
+//
+//   - a game alternates loading stages (high CPU, near-zero GPU, 5-30 s) and
+//     execution stages (scene-dependent consumption),
+//   - each execution stage type is a combination of one or more frame
+//     clusters (Fig. 4),
+//   - stage order and duration depend on the player, with the strength of
+//     that dependence set by the game's category (Fig. 7).
+package gamesim
+
+import (
+	"fmt"
+
+	"cocg/internal/resources"
+	"cocg/internal/simclock"
+)
+
+// Category is the paper's Fig. 7 game taxonomy. It determines how training
+// samples are selected (Section IV-B1) and how strongly the player perturbs
+// stage order and duration.
+type Category int
+
+// The four quadrants of Fig. 7.
+const (
+	// Web games: simple stages, low user influence (e.g. Contra, Raiden).
+	Web Category = iota
+	// Mobile games: simple stages, high user influence (e.g. Genshin Impact).
+	Mobile
+	// Console games: complex stages, low user influence (e.g. Devil May Cry).
+	Console
+	// MMORPG covers MMORPG & MOBA: complex stages, high user influence
+	// (e.g. DOTA2, World of Warcraft).
+	MMORPG
+)
+
+// String returns the category name used in tables.
+func (c Category) String() string {
+	switch c {
+	case Web:
+		return "web"
+	case Mobile:
+		return "mobile"
+	case Console:
+		return "console"
+	case MMORPG:
+		return "mmorpg"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// UserInfluence returns the relative strength (0..1) with which players
+// perturb stage durations and ordering for this category — the vertical axis
+// of Fig. 7.
+func (c Category) UserInfluence() float64 {
+	switch c {
+	case Web:
+		return 0.05
+	case Mobile:
+		return 0.75
+	case Console:
+		return 0.15
+	case MMORPG:
+		return 0.9
+	default:
+		return 0.5
+	}
+}
+
+// ClusterSpec is one frame cluster of a game: the resource centroid of a
+// 5-second slice plus how noisy individual seconds are around it.
+type ClusterSpec struct {
+	Name   string
+	Demand resources.Vector
+	Jitter float64 // per-second Gaussian noise std dev, in percent points
+}
+
+// StageType describes one stage type of a game (Fig. 4): the set of frame
+// clusters it is composed of and its nominal duration. Stage type 0 of every
+// game is the loading stage.
+type StageType struct {
+	Name string
+	// Clusters lists the frame-cluster indices that compose the stage. Most
+	// execution stages have exactly one; the paper's "big secret realm with
+	// three bosses" example has several, visited in player-dependent order.
+	Clusters []int
+	// MeanDur is the nominal stage length at full resource supply. For the
+	// loading stage type this is ignored (loading length is drawn from the
+	// game's LoadMin/LoadMax range).
+	MeanDur simclock.Seconds
+	// DurJitter is the baseline relative spread of the duration; the
+	// effective spread is DurJitter scaled up by the category's user
+	// influence.
+	DurJitter float64
+}
+
+// LoadingType is the index of the loading stage type in every GameSpec.
+const LoadingType = 0
+
+// LoadingCluster is the index of the loading frame cluster in every GameSpec.
+const LoadingCluster = 0
+
+// Script is one of the automation scripts of Table I: a named nominal
+// sequence of execution stage types.
+type Script struct {
+	Name string
+	Desc string
+	// Body is the nominal order of execution stage type indices. Loading
+	// stages are implicit: one before each entry and a final shutdown load.
+	Body []int
+}
+
+// GameSpec is the complete static description of one game.
+type GameSpec struct {
+	Name     string
+	Category Category
+	// Clusters holds the frame clusters; index 0 must be the loading
+	// cluster (high CPU, near-zero GPU — Observation 3).
+	Clusters []ClusterSpec
+	// StageTypes holds the stage catalog; index 0 must be the loading stage.
+	StageTypes []StageType
+	Scripts    []Script
+	// BaseFPS is the frame rate the game reaches with full resources and no
+	// engine cap. FPSCap, when > 0, is the manufacturer frame lock (30 or 60
+	// for Genshin Impact and Devil May Cry per Section V-C2).
+	BaseFPS float64
+	FPSCap  float64
+	// LoadMin/LoadMax bound the loading stage duration at full CPU supply
+	// (the paper observes 5-30 s).
+	LoadMin, LoadMax simclock.Seconds
+	// NominalLen is the manufacturer-advertised session length; the
+	// regulator's "distinguish game length" strategy (Section IV-C2) keys
+	// off it.
+	NominalLen simclock.Seconds
+	// SpikeRate is the per-second probability of a short resource burst that
+	// is *not* a stage change — the "sudden event" of Fig. 9 period three
+	// that exercises the predictor's rehearsal callback.
+	SpikeRate float64
+}
+
+// EffectiveFPS returns the best frame rate the game can reach: BaseFPS
+// limited by the engine cap.
+func (g *GameSpec) EffectiveFPS() float64 {
+	if g.FPSCap > 0 && g.FPSCap < g.BaseFPS {
+		return g.FPSCap
+	}
+	return g.BaseFPS
+}
+
+// Peak returns the component-wise maximum demand over all clusters — the
+// paper's peak consumption M used in Eq. 1 and by the VBP baseline.
+func (g *GameSpec) Peak() resources.Vector {
+	vs := make([]resources.Vector, len(g.Clusters))
+	for i, c := range g.Clusters {
+		vs[i] = c.Demand
+	}
+	return resources.PeakOf(vs)
+}
+
+// NumStageTypes returns the size of the stage catalog including loading.
+func (g *GameSpec) NumStageTypes() int { return len(g.StageTypes) }
+
+// Validate checks the structural invariants every GameSpec must satisfy.
+func (g *GameSpec) Validate() error {
+	if g.Name == "" {
+		return fmt.Errorf("gamesim: unnamed game")
+	}
+	if len(g.Clusters) < 2 {
+		return fmt.Errorf("gamesim: %s needs at least a loading and one execution cluster", g.Name)
+	}
+	if len(g.StageTypes) < 2 {
+		return fmt.Errorf("gamesim: %s needs at least a loading and one execution stage type", g.Name)
+	}
+	if len(g.StageTypes[LoadingType].Clusters) != 1 || g.StageTypes[LoadingType].Clusters[0] != LoadingCluster {
+		return fmt.Errorf("gamesim: %s stage type 0 must be the loading stage over cluster 0", g.Name)
+	}
+	load := g.Clusters[LoadingCluster].Demand
+	if load[resources.GPU] > 15 {
+		return fmt.Errorf("gamesim: %s loading cluster GPU %.1f too high; loading screens do not render", g.Name, load[resources.GPU])
+	}
+	for ti, st := range g.StageTypes {
+		if len(st.Clusters) == 0 {
+			return fmt.Errorf("gamesim: %s stage type %d has no clusters", g.Name, ti)
+		}
+		for _, c := range st.Clusters {
+			if c < 0 || c >= len(g.Clusters) {
+				return fmt.Errorf("gamesim: %s stage type %d references cluster %d of %d", g.Name, ti, c, len(g.Clusters))
+			}
+		}
+		if ti != LoadingType && st.MeanDur <= 0 {
+			return fmt.Errorf("gamesim: %s stage type %d has non-positive duration", g.Name, ti)
+		}
+	}
+	if len(g.Scripts) == 0 {
+		return fmt.Errorf("gamesim: %s has no scripts", g.Name)
+	}
+	for si, sc := range g.Scripts {
+		if len(sc.Body) == 0 {
+			return fmt.Errorf("gamesim: %s script %d is empty", g.Name, si)
+		}
+		for _, t := range sc.Body {
+			if t <= LoadingType || t >= len(g.StageTypes) {
+				return fmt.Errorf("gamesim: %s script %d references stage type %d", g.Name, si, t)
+			}
+		}
+	}
+	if g.LoadMin < 5*simclock.Second || g.LoadMax < g.LoadMin {
+		return fmt.Errorf("gamesim: %s loading range [%d, %d] invalid (all observed loads are >= 5 s)", g.Name, g.LoadMin, g.LoadMax)
+	}
+	if g.BaseFPS <= 0 {
+		return fmt.Errorf("gamesim: %s BaseFPS must be positive", g.Name)
+	}
+	if g.NominalLen <= 0 {
+		return fmt.Errorf("gamesim: %s NominalLen must be positive", g.Name)
+	}
+	return nil
+}
+
+// ScriptStageTypeCount returns the number of distinct stage types a script
+// visits, counting the loading stage — the "# of stage type" column of
+// Table I.
+func (g *GameSpec) ScriptStageTypeCount(script int) int {
+	seen := map[int]bool{LoadingType: true}
+	for _, t := range g.Scripts[script].Body {
+		seen[t] = true
+	}
+	return len(seen)
+}

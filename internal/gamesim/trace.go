@@ -1,0 +1,243 @@
+package gamesim
+
+import (
+	"fmt"
+
+	"cocg/internal/resources"
+	"cocg/internal/simclock"
+)
+
+// SecondSample is one virtual second of an offline profiling run at full
+// resource supply.
+type SecondSample struct {
+	T         simclock.Seconds
+	Demand    resources.Vector
+	StageType int // ground truth
+	Cluster   int // ground truth
+	Loading   bool
+}
+
+// FrameSample aggregates FrameLen (5) seconds into one frame — the unit the
+// paper clusters (Section IV-A2).
+type FrameSample struct {
+	Frame     int
+	Demand    resources.Vector // mean demand over the frame
+	StageType int              // ground-truth majority stage type
+	Cluster   int              // ground-truth majority cluster
+	Loading   bool             // ground truth: majority of seconds loading
+}
+
+// StageVisit is one contiguous ground-truth stage occurrence in a trace.
+type StageVisit struct {
+	Type       int
+	StartFrame int // inclusive
+	EndFrame   int // exclusive
+	Loading    bool
+}
+
+// Trace is the full observable record of one profiling session.
+type Trace struct {
+	Game    string
+	Script  int
+	Player  int64 // player identity, stable across sessions
+	Cohort  int64 // players who queue together (MMORPG sample packing)
+	Habit   int64 // the habit seed the session was realized with
+	Session int64 // session seed: distinguishes replays by the same player
+	Seconds []SecondSample
+	Frames  []FrameSample
+	Visits  []StageVisit
+}
+
+// FrameVectors returns just the frame demand vectors, the clusterer's input.
+func (t *Trace) FrameVectors() []resources.Vector {
+	out := make([]resources.Vector, len(t.Frames))
+	for i, f := range t.Frames {
+		out[i] = f.Demand
+	}
+	return out
+}
+
+// ExecVisits returns the non-loading stage visits in order.
+func (t *Trace) ExecVisits() []StageVisit {
+	var out []StageVisit
+	for _, v := range t.Visits {
+		if !v.Loading {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Record runs a full session of spec's script at unconstrained supply and
+// returns its trace. This is the offline profiling pass of Section IV-A: the
+// pre-experiment the paper performs once per game per platform.
+func Record(spec *GameSpec, scriptIdx int, seed int64) (*Trace, error) {
+	return RecordPlayer(spec, scriptIdx, seed, seed)
+}
+
+// RecordPlayer records one session of a specific player (habit seed) with a
+// specific session seed, at unconstrained supply.
+func RecordPlayer(spec *GameSpec, scriptIdx int, habitSeed, sessionSeed int64) (*Trace, error) {
+	sess, err := NewPlayerSession(spec, scriptIdx, habitSeed, sessionSeed)
+	if err != nil {
+		return nil, err
+	}
+	tr := &Trace{Game: spec.Name, Script: scriptIdx, Player: habitSeed, Habit: habitSeed, Session: sessionSeed}
+	var clk simclock.Clock
+	const maxTicks = int(4 * simclock.Hour) // safety bound; no script runs this long
+	for i := 0; i < maxTicks && !sess.Done(); i++ {
+		d := sess.Demand()
+		tr.Seconds = append(tr.Seconds, SecondSample{
+			T:         clk.Now(),
+			Demand:    d,
+			StageType: sess.StageType(),
+			Cluster:   sess.Cluster(),
+			Loading:   sess.Phase() == PhaseLoading,
+		})
+		sess.Step(resources.FullServer)
+		clk.Tick()
+	}
+	if !sess.Done() {
+		return nil, fmt.Errorf("gamesim: %s script %d did not finish within %s", spec.Name, scriptIdx, simclock.Seconds(maxTicks))
+	}
+	tr.Frames = frameAggregate(tr.Seconds)
+	tr.Visits = segment(tr.Frames)
+	return tr, nil
+}
+
+// frameAggregate folds per-second samples into 5-second frames, labeling
+// each frame with the majority ground-truth stage.
+func frameAggregate(secs []SecondSample) []FrameSample {
+	var frames []FrameSample
+	for start := 0; start < len(secs); start += int(simclock.FrameLen) {
+		end := start + int(simclock.FrameLen)
+		if end > len(secs) {
+			end = len(secs)
+		}
+		var sum resources.Vector
+		typeCount := map[int]int{}
+		clusterCount := map[int]int{}
+		loading := 0
+		for _, s := range secs[start:end] {
+			sum = sum.Add(s.Demand)
+			typeCount[s.StageType]++
+			clusterCount[s.Cluster]++
+			if s.Loading {
+				loading++
+			}
+		}
+		n := end - start
+		frames = append(frames, FrameSample{
+			Frame:     len(frames),
+			Demand:    sum.Scale(1 / float64(n)),
+			StageType: majorityKey(typeCount),
+			Cluster:   majorityKey(clusterCount),
+			Loading:   loading*2 > n,
+		})
+	}
+	return frames
+}
+
+func majorityKey(counts map[int]int) int {
+	best, bestN := 0, -1
+	for k, n := range counts {
+		if n > bestN || (n == bestN && k < best) {
+			best, bestN = k, n
+		}
+	}
+	return best
+}
+
+// segment groups consecutive frames with the same ground-truth stage type
+// into visits.
+func segment(frames []FrameSample) []StageVisit {
+	var visits []StageVisit
+	for i := 0; i < len(frames); {
+		j := i
+		for j < len(frames) && frames[j].StageType == frames[i].StageType && frames[j].Loading == frames[i].Loading {
+			j++
+		}
+		visits = append(visits, StageVisit{
+			Type:       frames[i].StageType,
+			StartFrame: i,
+			EndFrame:   j,
+			Loading:    frames[i].Loading,
+		})
+		i = j
+	}
+	return visits
+}
+
+// RecordCorpus records traces for every script of the game across several
+// simulated players; this is the training corpus generator that stands in
+// for the paper's Alibaba-cloud logs plus laboratory replays.
+func RecordCorpus(spec *GameSpec, playersPerScript int, seed int64) ([]*Trace, error) {
+	var out []*Trace
+	for si := range spec.Scripts {
+		for p := 0; p < playersPerScript; p++ {
+			tr, err := Record(spec, si, seed+int64(si*10_000+p))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tr)
+		}
+	}
+	return out, nil
+}
+
+// CorpusConfig shapes a player-structured corpus.
+type CorpusConfig struct {
+	Players           int   // distinct players (habit seeds)
+	SessionsPerPlayer int   // replays per player
+	CohortSize        int   // players per MMORPG cohort; <=0 means 4
+	Seed              int64 // base seed
+}
+
+// RecordPlayerCorpus records a player-structured corpus: each player keeps a
+// stable habit across SessionsPerPlayer sessions, scripts are drawn by the
+// player's habit for mobile games (a daily routine) and per-session for the
+// rest, and MMORPG players are grouped into cohorts whose members share
+// match dynamics. It generates the data the four training-set selection
+// strategies of Section IV-B1 operate on.
+func RecordPlayerCorpus(spec *GameSpec, cfg CorpusConfig) ([]*Trace, error) {
+	if cfg.Players < 1 || cfg.SessionsPerPlayer < 1 {
+		return nil, fmt.Errorf("gamesim: corpus needs at least one player and session")
+	}
+	cohortSize := cfg.CohortSize
+	if cohortSize <= 0 {
+		cohortSize = 4
+	}
+	var out []*Trace
+	for p := 0; p < cfg.Players; p++ {
+		habit := cfg.Seed + int64(p)*1_000_003
+		cohort := int64(p / cohortSize)
+		if spec.Category == MMORPG {
+			// Queueing together means sharing match dynamics: cohort members
+			// use the cohort's habit seed.
+			habit = cfg.Seed + cohort*1_000_003
+		}
+		for s := 0; s < cfg.SessionsPerPlayer; s++ {
+			sessSeed := cfg.Seed + int64(p)*7919 + int64(s)*104_729 + 1
+			script := int((uint64(habit) ^ uint64(s)*0x9e3779b9) % uint64(len(spec.Scripts)))
+			switch spec.Category {
+			case Mobile:
+				// A mobile player's daily routine: the habit picks the script.
+				script = int(uint64(habit) % uint64(len(spec.Scripts)))
+			case Console:
+				// Console players progress through the campaign: session s
+				// continues where the previous one stopped, which is what
+				// the whole-process sample chaining captures.
+				script = s % len(spec.Scripts)
+			}
+			tr, err := RecordPlayer(spec, script, habit, sessSeed)
+			if err != nil {
+				return nil, err
+			}
+			tr.Player = cfg.Seed + int64(p)*1_000_003 // player identity, even in cohorts
+			tr.Cohort = cohort
+			tr.Habit = habit
+			out = append(out, tr)
+		}
+	}
+	return out, nil
+}

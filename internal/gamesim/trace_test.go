@@ -1,0 +1,133 @@
+package gamesim
+
+import (
+	"testing"
+
+	"cocg/internal/resources"
+	"cocg/internal/simclock"
+)
+
+func TestRecordProducesConsistentTrace(t *testing.T) {
+	tr, err := Record(GenshinImpact(), 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Seconds) == 0 || len(tr.Frames) == 0 || len(tr.Visits) == 0 {
+		t.Fatal("empty trace")
+	}
+	wantFrames := (len(tr.Seconds) + int(simclock.FrameLen) - 1) / int(simclock.FrameLen)
+	if len(tr.Frames) != wantFrames {
+		t.Errorf("frames = %d, want %d", len(tr.Frames), wantFrames)
+	}
+	// Visits must tile the frame range exactly.
+	pos := 0
+	for _, v := range tr.Visits {
+		if v.StartFrame != pos || v.EndFrame <= v.StartFrame {
+			t.Fatalf("visit %+v does not tile at %d", v, pos)
+		}
+		pos = v.EndFrame
+	}
+	if pos != len(tr.Frames) {
+		t.Errorf("visits cover %d frames of %d", pos, len(tr.Frames))
+	}
+}
+
+func TestTraceAlternatesLoadingAndExec(t *testing.T) {
+	tr, err := Record(Contra(), 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First visit must be the initial loading.
+	if !tr.Visits[0].Loading {
+		t.Error("trace does not start with loading")
+	}
+	for i := 1; i < len(tr.Visits); i++ {
+		if tr.Visits[i].Loading == tr.Visits[i-1].Loading {
+			t.Errorf("visits %d and %d have the same loading flag", i-1, i)
+		}
+	}
+	// Contra script 3 runs three levels: 3 exec visits.
+	if got := len(tr.ExecVisits()); got != 3 {
+		t.Errorf("exec visits = %d, want 3", got)
+	}
+}
+
+func TestTraceFrameVectors(t *testing.T) {
+	tr, err := Record(Contra(), 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := tr.FrameVectors()
+	if len(vecs) != len(tr.Frames) {
+		t.Fatal("FrameVectors length mismatch")
+	}
+	for i, v := range vecs {
+		if v != tr.Frames[i].Demand {
+			t.Fatal("FrameVectors content mismatch")
+		}
+	}
+}
+
+func TestLoadingFramesLookLikeLoading(t *testing.T) {
+	tr, err := Record(DevilMayCry(), 1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Boundary frames mix loading and execution seconds, so check only
+	// interior loading frames (both neighbors also loading).
+	for i := 1; i < len(tr.Frames)-1; i++ {
+		f := tr.Frames[i]
+		if f.Loading && tr.Frames[i-1].Loading && tr.Frames[i+1].Loading &&
+			f.Demand[resources.GPU] > 20 {
+			t.Errorf("loading frame %d has GPU %v", f.Frame, f.Demand[resources.GPU])
+		}
+	}
+}
+
+func TestRecordDeterministic(t *testing.T) {
+	a, err := Record(DOTA2(), 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Record(DOTA2(), 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatalf("frame counts differ: %d vs %d", len(a.Frames), len(b.Frames))
+	}
+	for i := range a.Frames {
+		if a.Frames[i].Demand != b.Frames[i].Demand {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+}
+
+func TestRecordCorpus(t *testing.T) {
+	g := Contra()
+	corpus, err := RecordCorpus(g, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != len(g.Scripts)*2 {
+		t.Fatalf("corpus size = %d, want %d", len(corpus), len(g.Scripts)*2)
+	}
+	scriptSeen := map[int]int{}
+	for _, tr := range corpus {
+		scriptSeen[tr.Script]++
+		if tr.Game != g.Name {
+			t.Errorf("trace game = %q", tr.Game)
+		}
+	}
+	for si := range g.Scripts {
+		if scriptSeen[si] != 2 {
+			t.Errorf("script %d appears %d times, want 2", si, scriptSeen[si])
+		}
+	}
+}
+
+func TestRecordBadScript(t *testing.T) {
+	if _, err := Record(Contra(), 99, 1); err == nil {
+		t.Error("bad script index did not error")
+	}
+}

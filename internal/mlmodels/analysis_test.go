@@ -1,0 +1,113 @@
+package mlmodels
+
+import (
+	"strings"
+	"testing"
+)
+
+func fitDTC(t *testing.T, ds *Dataset) *DecisionTree {
+	t.Helper()
+	m := NewDecisionTree(TreeConfig{Seed: 1})
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	ds := synthDataset(300, 21)
+	train, test := ds.Split(0.75, 5)
+	m := fitDTC(t, train)
+	cm, err := Confusion(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Evaluate(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := cm.Accuracy() - acc; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("confusion accuracy %.4f != Evaluate %.4f", cm.Accuracy(), acc)
+	}
+	// Total count equals test size.
+	var total int
+	for _, row := range cm.Counts {
+		for _, c := range row {
+			total += c
+		}
+	}
+	if total != test.Len() {
+		t.Errorf("matrix total %d != %d", total, test.Len())
+	}
+	for class := 0; class < cm.Classes; class++ {
+		if r := cm.Recall(class); r < -1 || r > 1 {
+			t.Errorf("recall(%d) = %v", class, r)
+		}
+	}
+	if cm.Recall(-1) != -1 || cm.Recall(99) != -1 {
+		t.Error("out-of-range recall not -1")
+	}
+	if !strings.Contains(cm.String(), "true\\pred") {
+		t.Error("matrix rendering wrong")
+	}
+	if _, err := Confusion(m, &Dataset{}); err == nil {
+		t.Error("empty test set accepted")
+	}
+}
+
+func TestFeatureImportanceFindsInformativeFeatures(t *testing.T) {
+	// synthDataset: features 0 and 1 carry the label; 2-4 are noise.
+	ds := synthDataset(400, 22)
+	train, test := ds.Split(0.75, 6)
+	m := fitDTC(t, train)
+	imp, err := FeatureImportance(m, test, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != ds.NumFeatures {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	informative := imp[0] + imp[1]
+	noise := imp[2] + imp[3] + imp[4]
+	if informative <= noise {
+		t.Errorf("informative importance %.3f not above noise %.3f (%v)", informative, noise, imp)
+	}
+	if _, err := FeatureImportance(m, &Dataset{}, 1); err == nil {
+		t.Error("empty test set accepted")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	ds := synthDataset(200, 23)
+	res, err := CrossValidate(func() Classifier {
+		return NewDecisionTree(TreeConfig{Seed: 2})
+	}, ds, 5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Folds != 5 || len(res.Accuracies) != 5 {
+		t.Fatalf("folds = %d/%d", res.Folds, len(res.Accuracies))
+	}
+	if res.Mean() < 0.85 {
+		t.Errorf("CV mean %.3f on separable data", res.Mean())
+	}
+	for _, a := range res.Accuracies {
+		if a < 0 || a > 1 {
+			t.Errorf("fold accuracy %v", a)
+		}
+	}
+	if _, err := CrossValidate(func() Classifier { return NewDecisionTree(TreeConfig{}) }, ds, 1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	tiny := &Dataset{Samples: ds.Samples[:3], NumFeatures: ds.NumFeatures, NumClasses: ds.NumClasses}
+	if _, err := CrossValidate(func() Classifier { return NewDecisionTree(TreeConfig{}) }, tiny, 5, 1); err == nil {
+		t.Error("k > n accepted")
+	}
+}
+
+func TestCVResultMeanEmpty(t *testing.T) {
+	r := &CVResult{}
+	if r.Mean() != 0 {
+		t.Error("empty CV mean != 0")
+	}
+}

@@ -1,0 +1,162 @@
+package mlmodels
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ForestConfig controls Random Forest training.
+type ForestConfig struct {
+	NumTrees int // number of bagged trees; <=0 means 50
+	Tree     TreeConfig
+	Seed     int64
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 50
+	}
+	c.Tree = c.Tree.withDefaults()
+	return c
+}
+
+// RandomForest is the paper's RF predictor: bagged CART trees with random
+// feature subsets at every split, majority vote at prediction time.
+type RandomForest struct {
+	cfg    ForestConfig
+	trees  []*treeNode
+	nfeat  int
+	nclass int
+	fitted bool
+	// oob is the out-of-bag accuracy estimated during Fit: each sample is
+	// scored only by trees whose bootstrap missed it, giving a held-out
+	// quality estimate without sacrificing training data.
+	oob float64
+}
+
+// OOBAccuracy returns the out-of-bag accuracy estimate from the last Fit,
+// or -1 when no sample was ever out of bag (tiny datasets).
+func (f *RandomForest) OOBAccuracy() float64 {
+	if !f.fitted {
+		return -1
+	}
+	return f.oob
+}
+
+// NewRandomForest returns an unfitted random forest.
+func NewRandomForest(cfg ForestConfig) *RandomForest {
+	return &RandomForest{cfg: cfg.withDefaults()}
+}
+
+// Name implements Classifier.
+func (f *RandomForest) Name() string { return "RF" }
+
+// Fit implements Classifier.
+func (f *RandomForest) Fit(ds *Dataset) error {
+	if ds == nil || ds.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	rng := rand.New(rand.NewSource(f.cfg.Seed))
+	treeCfg := f.cfg.Tree
+	if treeCfg.FeatureSubset <= 0 {
+		// The standard default: sqrt(#features) candidates per split.
+		treeCfg.FeatureSubset = int(math.Sqrt(float64(ds.NumFeatures)))
+		if treeCfg.FeatureSubset < 1 {
+			treeCfg.FeatureSubset = 1
+		}
+	}
+	f.trees = make([]*treeNode, 0, f.cfg.NumTrees)
+	n := ds.Len()
+	// oobVotes[i][c] counts class-c votes for sample i from trees that did
+	// not see it.
+	oobVotes := make([][]int, n)
+	for i := range oobVotes {
+		oobVotes[i] = make([]int, ds.NumClasses)
+	}
+	inBag := make([]bool, n)
+	for t := 0; t < f.cfg.NumTrees; t++ {
+		// Bootstrap sample with replacement.
+		for i := range inBag {
+			inBag[i] = false
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+			inBag[idx[i]] = true
+		}
+		tree := buildClassTree(ds, idx, treeCfg, 0, rng)
+		f.trees = append(f.trees, tree)
+		for i, s := range ds.Samples {
+			if inBag[i] {
+				continue
+			}
+			node := tree
+			for !node.isLeaf() {
+				if s.Features[node.feature] <= node.threshold {
+					node = node.left
+				} else {
+					node = node.right
+				}
+			}
+			oobVotes[i][node.label]++
+		}
+	}
+	var correct, scored int
+	for i, votes := range oobVotes {
+		best, bestN, total := 0, -1, 0
+		for c, v := range votes {
+			total += v
+			if v > bestN {
+				best, bestN = c, v
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		scored++
+		if best == ds.Samples[i].Label {
+			correct++
+		}
+	}
+	if scored > 0 {
+		f.oob = float64(correct) / float64(scored)
+	} else {
+		f.oob = -1
+	}
+	f.nfeat = ds.NumFeatures
+	f.nclass = ds.NumClasses
+	f.fitted = true
+	return nil
+}
+
+// Predict implements Classifier by majority vote over the trees.
+func (f *RandomForest) Predict(x []float64) (int, error) {
+	if !f.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != f.nfeat {
+		return 0, ErrBadFeatureLen
+	}
+	votes := make([]int, f.nclass)
+	for _, t := range f.trees {
+		n := t
+		for !n.isLeaf() {
+			if x[n.feature] <= n.threshold {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		votes[n.label]++
+	}
+	best, bestN := 0, -1
+	for c, v := range votes {
+		if v > bestN {
+			best, bestN = c, v
+		}
+	}
+	return best, nil
+}
+
+// NumTrees returns how many trees were trained.
+func (f *RandomForest) NumTrees() int { return len(f.trees) }

@@ -1,0 +1,173 @@
+package mlmodels
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GBDTConfig controls gradient-boosted tree training.
+type GBDTConfig struct {
+	NumRounds    int     // boosting rounds; <=0 means 60
+	LearningRate float64 // shrinkage; <=0 means 0.2
+	Tree         TreeConfig
+	Seed         int64
+}
+
+func (c GBDTConfig) withDefaults() GBDTConfig {
+	if c.NumRounds <= 0 {
+		c.NumRounds = 60
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.2
+	}
+	if c.Tree.MaxDepth <= 0 {
+		c.Tree.MaxDepth = 4 // boosting uses shallow trees
+	}
+	c.Tree = c.Tree.withDefaults()
+	return c
+}
+
+// GBDT is the paper's gradient-boosted decision tree classifier: multiclass
+// boosting with a softmax objective. Each round fits one regression tree per
+// class to the negative gradient (one-hot minus predicted probability) and
+// uses the standard Newton leaf value.
+type GBDT struct {
+	cfg    GBDTConfig
+	trees  [][]*treeNode // trees[round][class]
+	nfeat  int
+	nclass int
+	prior  []float64 // initial log-odds per class
+	fitted bool
+}
+
+// NewGBDT returns an unfitted GBDT classifier.
+func NewGBDT(cfg GBDTConfig) *GBDT {
+	return &GBDT{cfg: cfg.withDefaults()}
+}
+
+// Name implements Classifier.
+func (g *GBDT) Name() string { return "GBDT" }
+
+// Fit implements Classifier.
+func (g *GBDT) Fit(ds *Dataset) error {
+	if ds == nil || ds.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	n := ds.Len()
+	k := ds.NumClasses
+	if k < 2 {
+		k = 2 // degenerate single-class data still needs a valid softmax
+	}
+	rng := rand.New(rand.NewSource(g.cfg.Seed))
+
+	// Initialize scores with class-frequency log priors.
+	counts := make([]float64, k)
+	for _, s := range ds.Samples {
+		counts[s.Label]++
+	}
+	g.prior = make([]float64, k)
+	for c := range g.prior {
+		p := (counts[c] + 1) / (float64(n) + float64(k)) // Laplace smoothing
+		g.prior[c] = math.Log(p)
+	}
+
+	// scores[i][c] is the current raw score of sample i for class c.
+	scores := make([][]float64, n)
+	for i := range scores {
+		scores[i] = make([]float64, k)
+		copy(scores[i], g.prior)
+	}
+
+	g.trees = make([][]*treeNode, 0, g.cfg.NumRounds)
+	probs := make([]float64, k)
+	kf := float64(k)
+	for round := 0; round < g.cfg.NumRounds; round++ {
+		roundTrees := make([]*treeNode, k)
+		// Residuals for every class under the current model.
+		residuals := make([][]regTarget, k)
+		for i := range ds.Samples {
+			softmaxInto(scores[i], probs)
+			for c := 0; c < k; c++ {
+				y := 0.0
+				if ds.Samples[i].Label == c {
+					y = 1.0
+				}
+				residuals[c] = append(residuals[c], regTarget{idx: i, target: y - probs[c]})
+			}
+		}
+		for c := 0; c < k; c++ {
+			leaf := func(rows []regTarget) float64 {
+				// Newton step for the softmax objective:
+				// (K-1)/K * sum(r) / sum(|r| * (1-|r|)).
+				var num, den float64
+				for _, r := range rows {
+					num += r.target
+					a := math.Abs(r.target)
+					den += a * (1 - a)
+				}
+				if den < 1e-12 {
+					return 0
+				}
+				return (kf - 1) / kf * num / den
+			}
+			roundTrees[c] = buildRegTree(ds, residuals[c], g.cfg.Tree, 0, rng, leaf)
+		}
+		// Update scores with the shrunken tree outputs.
+		for i, s := range ds.Samples {
+			for c := 0; c < k; c++ {
+				scores[i][c] += g.cfg.LearningRate * predictReg(roundTrees[c], s.Features)
+			}
+		}
+		g.trees = append(g.trees, roundTrees)
+	}
+	g.nfeat = ds.NumFeatures
+	g.nclass = k
+	g.fitted = true
+	return nil
+}
+
+// Predict implements Classifier.
+func (g *GBDT) Predict(x []float64) (int, error) {
+	if !g.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != g.nfeat {
+		return 0, ErrBadFeatureLen
+	}
+	scores := make([]float64, g.nclass)
+	copy(scores, g.prior)
+	for _, round := range g.trees {
+		for c, t := range round {
+			scores[c] += g.cfg.LearningRate * predictReg(t, x)
+		}
+	}
+	best, bestS := 0, math.Inf(-1)
+	for c, s := range scores {
+		if s > bestS {
+			best, bestS = c, s
+		}
+	}
+	return best, nil
+}
+
+// Rounds returns how many boosting rounds were trained.
+func (g *GBDT) Rounds() int { return len(g.trees) }
+
+// softmaxInto writes softmax(scores) into out (same length), using the
+// max-subtraction trick for numerical stability.
+func softmaxInto(scores, out []float64) {
+	m := scores[0]
+	for _, s := range scores[1:] {
+		if s > m {
+			m = s
+		}
+	}
+	var sum float64
+	for i, s := range scores {
+		out[i] = math.Exp(s - m)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}

@@ -1,0 +1,163 @@
+package mlmodels
+
+import (
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbors classifier — a floor baseline for the paper's
+// three tree ensembles: no structure learned, just memorized transitions.
+// Features are z-score normalized at fit time so large-range columns do not
+// drown informative small-range ones.
+type KNN struct {
+	K       int // neighbors; <=0 means 5
+	samples []Sample
+	mean    []float64
+	scale   []float64
+	nfeat   int
+	nclass  int
+	fitted  bool
+}
+
+// NewKNN returns an unfitted kNN classifier.
+func NewKNN(k int) *KNN {
+	if k <= 0 {
+		k = 5
+	}
+	return &KNN{K: k}
+}
+
+// Name implements Classifier.
+func (k *KNN) Name() string { return "KNN" }
+
+// Fit implements Classifier (memorization plus normalization statistics).
+func (k *KNN) Fit(ds *Dataset) error {
+	if ds == nil || ds.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	k.nfeat = ds.NumFeatures
+	k.nclass = ds.NumClasses
+	k.mean = make([]float64, k.nfeat)
+	k.scale = make([]float64, k.nfeat)
+	n := float64(ds.Len())
+	for _, s := range ds.Samples {
+		for f, v := range s.Features {
+			k.mean[f] += v
+		}
+	}
+	for f := range k.mean {
+		k.mean[f] /= n
+	}
+	for _, s := range ds.Samples {
+		for f, v := range s.Features {
+			d := v - k.mean[f]
+			k.scale[f] += d * d
+		}
+	}
+	for f := range k.scale {
+		k.scale[f] = math.Sqrt(k.scale[f] / n)
+		if k.scale[f] == 0 {
+			k.scale[f] = 1
+		}
+	}
+	k.samples = make([]Sample, ds.Len())
+	for i, s := range ds.Samples {
+		feat := make([]float64, k.nfeat)
+		for f, v := range s.Features {
+			feat[f] = (v - k.mean[f]) / k.scale[f]
+		}
+		k.samples[i] = Sample{Features: feat, Label: s.Label}
+	}
+	k.fitted = true
+	return nil
+}
+
+// Predict implements Classifier by majority vote over the K nearest
+// training samples (Euclidean distance).
+func (k *KNN) Predict(x []float64) (int, error) {
+	if !k.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != k.nfeat {
+		return 0, ErrBadFeatureLen
+	}
+	type neigh struct {
+		d     float64
+		label int
+	}
+	xn := make([]float64, k.nfeat)
+	for f, v := range x {
+		xn[f] = (v - k.mean[f]) / k.scale[f]
+	}
+	ns := make([]neigh, len(k.samples))
+	for i, s := range k.samples {
+		var d float64
+		for f, v := range s.Features {
+			diff := v - xn[f]
+			d += diff * diff
+		}
+		ns[i] = neigh{math.Sqrt(d), s.Label}
+	}
+	sort.Slice(ns, func(a, b int) bool { return ns[a].d < ns[b].d })
+	kk := k.K
+	if kk > len(ns) {
+		kk = len(ns)
+	}
+	votes := make([]int, k.nclass)
+	for _, n := range ns[:kk] {
+		votes[n.label]++
+	}
+	best, bestN := 0, -1
+	for c, v := range votes {
+		if v > bestN {
+			best, bestN = c, v
+		}
+	}
+	return best, nil
+}
+
+// Majority always predicts the most frequent training label — the absolute
+// accuracy floor any real model must clear.
+type Majority struct {
+	label  int
+	nfeat  int
+	fitted bool
+}
+
+// NewMajority returns an unfitted majority-class classifier.
+func NewMajority() *Majority { return &Majority{} }
+
+// Name implements Classifier.
+func (m *Majority) Name() string { return "Majority" }
+
+// Fit implements Classifier.
+func (m *Majority) Fit(ds *Dataset) error {
+	if ds == nil || ds.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	counts := make([]int, ds.NumClasses)
+	for _, s := range ds.Samples {
+		counts[s.Label]++
+	}
+	best, bestN := 0, -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	m.label = best
+	m.nfeat = ds.NumFeatures
+	m.fitted = true
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *Majority) Predict(x []float64) (int, error) {
+	if !m.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != m.nfeat {
+		return 0, ErrBadFeatureLen
+	}
+	return m.label, nil
+}

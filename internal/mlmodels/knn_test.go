@@ -1,0 +1,106 @@
+package mlmodels
+
+import "testing"
+
+func TestKNNLearnsSeparableData(t *testing.T) {
+	ds := synthDataset(300, 31)
+	train, test := ds.Split(0.75, 3)
+	k := NewKNN(5)
+	if err := k.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Evaluate(k, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.8 {
+		t.Errorf("kNN accuracy %.3f on separable data", acc)
+	}
+}
+
+func TestKNNErrorsAndDefaults(t *testing.T) {
+	k := NewKNN(0)
+	if k.K != 5 {
+		t.Errorf("default K = %d", k.K)
+	}
+	if _, err := k.Predict([]float64{1}); err != ErrNotFitted {
+		t.Errorf("unfitted err = %v", err)
+	}
+	if err := k.Fit(&Dataset{}); err != ErrEmptyDataset {
+		t.Errorf("empty fit err = %v", err)
+	}
+	ds := synthDataset(20, 32)
+	if err := k.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Predict([]float64{1}); err != ErrBadFeatureLen {
+		t.Errorf("bad length err = %v", err)
+	}
+}
+
+func TestKNNKLargerThanTrainingSet(t *testing.T) {
+	ds := synthDataset(3, 33)
+	k := NewKNN(50)
+	if err := k.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := k.Predict(ds.Samples[0].Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0 || got >= ds.NumClasses {
+		t.Errorf("prediction %d out of range", got)
+	}
+}
+
+func TestMajorityBaseline(t *testing.T) {
+	samples := []Sample{
+		{Features: []float64{1}, Label: 2},
+		{Features: []float64{2}, Label: 2},
+		{Features: []float64{3}, Label: 0},
+	}
+	ds, err := NewDataset(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMajority()
+	if _, err := m.Predict([]float64{1}); err != ErrNotFitted {
+		t.Errorf("unfitted err = %v", err)
+	}
+	if err := m.Fit(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 5, 100} {
+		got, err := m.Predict([]float64{x})
+		if err != nil || got != 2 {
+			t.Errorf("Predict(%v) = %d, %v", x, got, err)
+		}
+	}
+	if _, err := m.Predict([]float64{1, 2}); err != ErrBadFeatureLen {
+		t.Errorf("bad length err = %v", err)
+	}
+	if err := m.Fit(nil); err != ErrEmptyDataset {
+		t.Errorf("nil fit err = %v", err)
+	}
+}
+
+func TestTreesBeatFloorBaselines(t *testing.T) {
+	// On the XOR task, kNN does fine but Majority is ~50 %; the trees must
+	// clear both comfortably.
+	ds := xorDataset(600, 34)
+	train, test := ds.Split(0.75, 7)
+	floor := NewMajority()
+	if err := floor.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	floorAcc, _ := Evaluate(floor, test)
+	for _, m := range allModels() {
+		if err := m.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		acc, _ := Evaluate(m, test)
+		if acc <= floorAcc+0.2 {
+			t.Errorf("%s accuracy %.3f does not clear the majority floor %.3f", m.Name(), acc, floorAcc)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+package mlmodels
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TreeConfig controls CART tree induction for both the standalone DTC and
+// the trees inside RF and GBDT.
+type TreeConfig struct {
+	MaxDepth        int // depth cap; <=0 means 12
+	MinSamplesSplit int // minimum rows to attempt a split; <=0 means 2
+	// FeatureSubset, when > 0, samples that many candidate features per
+	// split (Random Forest style). 0 considers all features.
+	FeatureSubset int
+	Seed          int64
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinSamplesSplit <= 0 {
+		c.MinSamplesSplit = 2
+	}
+	return c
+}
+
+// treeNode is one node of a CART tree; leaves have feature == -1.
+type treeNode struct {
+	feature   int     // split feature, -1 for leaf
+	threshold float64 // go left when x[feature] <= threshold
+	left      *treeNode
+	right     *treeNode
+	label     int     // classification leaf output
+	value     float64 // regression leaf output (GBDT)
+}
+
+func (n *treeNode) isLeaf() bool { return n.feature == -1 }
+
+// DecisionTree is the paper's DTC: a CART classifier split on Gini impurity.
+type DecisionTree struct {
+	cfg    TreeConfig
+	root   *treeNode
+	nfeat  int
+	fitted bool
+}
+
+// NewDecisionTree returns an unfitted decision tree classifier.
+func NewDecisionTree(cfg TreeConfig) *DecisionTree {
+	return &DecisionTree{cfg: cfg.withDefaults()}
+}
+
+// Name implements Classifier.
+func (t *DecisionTree) Name() string { return "DTC" }
+
+// Fit implements Classifier.
+func (t *DecisionTree) Fit(ds *Dataset) error {
+	if ds == nil || ds.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	rng := rand.New(rand.NewSource(t.cfg.Seed))
+	t.root = buildClassTree(ds, idx, t.cfg, 0, rng)
+	t.nfeat = ds.NumFeatures
+	t.fitted = true
+	return nil
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(x []float64) (int, error) {
+	if !t.fitted {
+		return 0, ErrNotFitted
+	}
+	if len(x) != t.nfeat {
+		return 0, ErrBadFeatureLen
+	}
+	n := t.root
+	for !n.isLeaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label, nil
+}
+
+// Depth returns the depth of the fitted tree (a single leaf has depth 1);
+// useful for overhead experiments.
+func (t *DecisionTree) Depth() int { return depth(t.root) }
+
+func depth(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf() {
+		return 1
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// buildClassTree grows a classification tree on the rows in idx.
+func buildClassTree(ds *Dataset, idx []int, cfg TreeConfig, d int, rng *rand.Rand) *treeNode {
+	if d >= cfg.MaxDepth || len(idx) < cfg.MinSamplesSplit || pureLabels(ds.Samples, idx) {
+		return &treeNode{feature: -1, label: majorityLabel(ds.Samples, idx, ds.NumClasses)}
+	}
+	feat, thr, ok := bestGiniSplit(ds, idx, cfg, rng)
+	if !ok {
+		return &treeNode{feature: -1, label: majorityLabel(ds.Samples, idx, ds.NumClasses)}
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if ds.Samples[i].Features[feat] <= thr {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return &treeNode{feature: -1, label: majorityLabel(ds.Samples, idx, ds.NumClasses)}
+	}
+	return &treeNode{
+		feature:   feat,
+		threshold: thr,
+		left:      buildClassTree(ds, leftIdx, cfg, d+1, rng),
+		right:     buildClassTree(ds, rightIdx, cfg, d+1, rng),
+	}
+}
+
+func pureLabels(samples []Sample, idx []int) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	first := samples[idx[0]].Label
+	for _, i := range idx[1:] {
+		if samples[i].Label != first {
+			return false
+		}
+	}
+	return true
+}
+
+// bestGiniSplit scans candidate features for the split with the lowest
+// weighted Gini impurity.
+func bestGiniSplit(ds *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand) (feat int, thr float64, ok bool) {
+	features := candidateFeatures(ds.NumFeatures, cfg.FeatureSubset, rng)
+	bestScore := math.Inf(1)
+	type fv struct {
+		v     float64
+		label int
+	}
+	vals := make([]fv, 0, len(idx))
+	for _, f := range features {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, fv{ds.Samples[i].Features[f], ds.Samples[i].Label})
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+
+		// Incremental class counts for left/right partitions.
+		leftCounts := make([]int, ds.NumClasses)
+		rightCounts := make([]int, ds.NumClasses)
+		for _, x := range vals {
+			rightCounts[x.label]++
+		}
+		n := float64(len(vals))
+		for i := 0; i < len(vals)-1; i++ {
+			leftCounts[vals[i].label]++
+			rightCounts[vals[i].label]--
+			if vals[i].v == vals[i+1].v {
+				continue // cannot split between equal values
+			}
+			nl := float64(i + 1)
+			nr := n - nl
+			score := nl/n*gini(leftCounts, nl) + nr/n*gini(rightCounts, nr)
+			if score < bestScore {
+				bestScore = score
+				feat = f
+				thr = (vals[i].v + vals[i+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func gini(counts []int, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		p := float64(c) / n
+		g -= p * p
+	}
+	return g
+}
+
+// candidateFeatures returns the features a split may use: all of them, or a
+// random subset of size m (without replacement) for Random Forest trees.
+func candidateFeatures(nf, m int, rng *rand.Rand) []int {
+	all := make([]int, nf)
+	for i := range all {
+		all[i] = i
+	}
+	if m <= 0 || m >= nf {
+		return all
+	}
+	rng.Shuffle(nf, func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:m]
+}
+
+// --- regression tree (used by GBDT) ---
+
+// regTarget pairs a row index with its regression target.
+type regTarget struct {
+	idx    int
+	target float64
+}
+
+// buildRegTree grows a regression tree minimizing squared error over the
+// given targets; leafValue computes the leaf output from the targets that
+// reach it (GBDT uses a Newton step rather than the plain mean).
+func buildRegTree(ds *Dataset, rows []regTarget, cfg TreeConfig, d int,
+	rng *rand.Rand, leafValue func([]regTarget) float64) *treeNode {
+
+	if d >= cfg.MaxDepth || len(rows) < cfg.MinSamplesSplit || constantTargets(rows) {
+		return &treeNode{feature: -1, value: leafValue(rows)}
+	}
+	feat, thr, ok := bestMSESplit(ds, rows, cfg, rng)
+	if !ok {
+		return &treeNode{feature: -1, value: leafValue(rows)}
+	}
+	var left, right []regTarget
+	for _, r := range rows {
+		if ds.Samples[r.idx].Features[feat] <= thr {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return &treeNode{feature: -1, value: leafValue(rows)}
+	}
+	return &treeNode{
+		feature:   feat,
+		threshold: thr,
+		left:      buildRegTree(ds, left, cfg, d+1, rng, leafValue),
+		right:     buildRegTree(ds, right, cfg, d+1, rng, leafValue),
+	}
+}
+
+func constantTargets(rows []regTarget) bool {
+	if len(rows) == 0 {
+		return true
+	}
+	first := rows[0].target
+	for _, r := range rows[1:] {
+		if r.target != first {
+			return false
+		}
+	}
+	return true
+}
+
+// bestMSESplit finds the split minimizing the within-partition sum of squared
+// deviations, computed incrementally from running sums.
+func bestMSESplit(ds *Dataset, rows []regTarget, cfg TreeConfig, rng *rand.Rand) (feat int, thr float64, ok bool) {
+	features := candidateFeatures(ds.NumFeatures, cfg.FeatureSubset, rng)
+	bestScore := math.Inf(1)
+	type fv struct {
+		v, t float64
+	}
+	vals := make([]fv, 0, len(rows))
+	var totalSum, totalSum2 float64
+	for _, r := range rows {
+		totalSum += r.target
+		totalSum2 += r.target * r.target
+	}
+	n := float64(len(rows))
+	for _, f := range features {
+		vals = vals[:0]
+		for _, r := range rows {
+			vals = append(vals, fv{ds.Samples[r.idx].Features[f], r.target})
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		var ls, ls2 float64
+		for i := 0; i < len(vals)-1; i++ {
+			ls += vals[i].t
+			ls2 += vals[i].t * vals[i].t
+			if vals[i].v == vals[i+1].v {
+				continue
+			}
+			nl := float64(i + 1)
+			nr := n - nl
+			rs := totalSum - ls
+			rs2 := totalSum2 - ls2
+			// SSE of each side = sum(t^2) - (sum t)^2 / n.
+			score := (ls2 - ls*ls/nl) + (rs2 - rs*rs/nr)
+			if score < bestScore {
+				bestScore = score
+				feat = f
+				thr = (vals[i].v + vals[i+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// predictReg walks a regression tree.
+func predictReg(n *treeNode, x []float64) float64 {
+	for !n.isLeaf() {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}

@@ -1,0 +1,203 @@
+// Package persist saves and loads trained CoCG systems. The paper stresses
+// that "contention feature profiling and model training only need to be
+// performed once"; this package makes that literal — a bundle file written
+// after the offline pass serves every later deployment without retraining.
+//
+// The format is gzip-compressed JSON: one document holding, per game, the
+// profile (centroids + stage catalog), the pooled and per-habit models, the
+// typical demand curve, and the measured accuracies. Profiling corpora are
+// not persisted; a loaded system schedules and predicts exactly like the
+// original but cannot regenerate corpus-derived experiment figures.
+package persist
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"cocg/internal/core"
+	"cocg/internal/gamesim"
+	"cocg/internal/mlmodels"
+	"cocg/internal/predictor"
+	"cocg/internal/profiler"
+	"cocg/internal/resources"
+)
+
+// FormatVersion guards against loading bundles from incompatible builds.
+const FormatVersion = 1
+
+// bundleDTO is one game's persistent training bundle.
+type bundleDTO struct {
+	Game            string                            `json:"game"`
+	Profile         json.RawMessage                   `json:"profile"`
+	Models          []*mlmodels.SavedModel            `json:"models"`
+	HabitModels     map[string][]*mlmodels.SavedModel `json:"habit_models,omitempty"`
+	HabitAccuracy   map[string]float64                `json:"habit_accuracy,omitempty"`
+	HabitPool       []int64                           `json:"habit_pool,omitempty"`
+	OfflineAccuracy float64                           `json:"offline_accuracy"`
+	TypicalCurve    []resources.Vector                `json:"typical_curve"`
+}
+
+// systemDTO is the whole persisted system.
+type systemDTO struct {
+	Version int         `json:"version"`
+	Bundles []bundleDTO `json:"bundles"`
+}
+
+// Save writes a trained system to w.
+func Save(sys *core.System, w io.Writer) error {
+	doc := systemDTO{Version: FormatVersion}
+	for _, game := range sys.Games() {
+		b, _ := sys.Bundle(game)
+		dto, err := bundleToDTO(b)
+		if err != nil {
+			return fmt.Errorf("persist: %s: %w", game, err)
+		}
+		doc.Bundles = append(doc.Bundles, *dto)
+	}
+	zw := gzip.NewWriter(w)
+	if err := json.NewEncoder(zw).Encode(doc); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}
+
+// Load reads a trained system from r. Game specs are resolved from the
+// built-in suite by name.
+func Load(r io.Reader) (*core.System, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("persist: not a bundle file: %w", err)
+	}
+	defer zr.Close()
+	var doc systemDTO
+	if err := json.NewDecoder(zr).Decode(&doc); err != nil {
+		return nil, err
+	}
+	if doc.Version != FormatVersion {
+		return nil, fmt.Errorf("persist: bundle version %d, want %d", doc.Version, FormatVersion)
+	}
+	if len(doc.Bundles) == 0 {
+		return nil, fmt.Errorf("persist: empty bundle")
+	}
+	sys := &core.System{Bundles: map[string]*predictor.Trained{}}
+	for i := range doc.Bundles {
+		b, err := bundleFromDTO(&doc.Bundles[i])
+		if err != nil {
+			return nil, fmt.Errorf("persist: %s: %w", doc.Bundles[i].Game, err)
+		}
+		sys.Bundles[b.Spec.Name] = b
+	}
+	return sys, nil
+}
+
+// SaveFile writes the system to path.
+func SaveFile(sys *core.System, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(sys, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a system from path.
+func LoadFile(path string) (*core.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func bundleToDTO(b *predictor.Trained) (*bundleDTO, error) {
+	profRaw, err := json.Marshal(b.Profile)
+	if err != nil {
+		return nil, err
+	}
+	dto := &bundleDTO{
+		Game:            b.Spec.Name,
+		Profile:         profRaw,
+		OfflineAccuracy: b.OfflineAccuracy,
+		TypicalCurve:    b.TypicalCurve,
+		HabitPool:       b.HabitPool,
+	}
+	for _, m := range b.Models {
+		sm, err := mlmodels.SaveModel(m)
+		if err != nil {
+			return nil, err
+		}
+		dto.Models = append(dto.Models, sm)
+	}
+	if len(b.HabitModels) > 0 {
+		dto.HabitModels = map[string][]*mlmodels.SavedModel{}
+		dto.HabitAccuracy = map[string]float64{}
+		for habit, models := range b.HabitModels {
+			key := strconv.FormatInt(habit, 10)
+			for _, m := range models {
+				sm, err := mlmodels.SaveModel(m)
+				if err != nil {
+					return nil, err
+				}
+				dto.HabitModels[key] = append(dto.HabitModels[key], sm)
+			}
+			dto.HabitAccuracy[key] = b.HabitAccuracy[habit]
+		}
+	}
+	return dto, nil
+}
+
+func bundleFromDTO(d *bundleDTO) (*predictor.Trained, error) {
+	spec, err := gamesim.GameByName(d.Game)
+	if err != nil {
+		return nil, err
+	}
+	var prof profiler.Profile
+	if err := json.Unmarshal(d.Profile, &prof); err != nil {
+		return nil, err
+	}
+	if len(d.Models) == 0 {
+		return nil, fmt.Errorf("bundle has no models")
+	}
+	b := &predictor.Trained{
+		Spec:            spec,
+		Profile:         &prof,
+		OfflineAccuracy: d.OfflineAccuracy,
+		TypicalCurve:    d.TypicalCurve,
+		HabitPool:       d.HabitPool,
+	}
+	for _, sm := range d.Models {
+		m, err := mlmodels.LoadModel(sm)
+		if err != nil {
+			return nil, err
+		}
+		b.Models = append(b.Models, m)
+	}
+	if len(d.HabitModels) > 0 {
+		b.HabitModels = map[int64][]mlmodels.Classifier{}
+		b.HabitAccuracy = map[int64]float64{}
+		for key, saved := range d.HabitModels {
+			habit, err := strconv.ParseInt(key, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad habit key %q", key)
+			}
+			for _, sm := range saved {
+				m, err := mlmodels.LoadModel(sm)
+				if err != nil {
+					return nil, err
+				}
+				b.HabitModels[habit] = append(b.HabitModels[habit], m)
+			}
+			b.HabitAccuracy[habit] = d.HabitAccuracy[key]
+		}
+	}
+	return b, nil
+}

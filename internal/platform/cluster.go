@@ -1,0 +1,181 @@
+package platform
+
+import (
+	"cocg/internal/gamesim"
+	"cocg/internal/resources"
+	"cocg/internal/simclock"
+)
+
+// Arrival is one game request waiting to be placed.
+type Arrival struct {
+	Spec        *gamesim.GameSpec
+	Script      int
+	Habit       int64
+	SessionSeed int64
+	// Submitted is stamped by the cluster when the arrival is enqueued.
+	Submitted simclock.Seconds
+}
+
+// Cluster runs a set of servers under one policy with a FIFO queue of
+// pending arrivals: the paper's setting where "the selected game will
+// continuously run requests until the distributor passes the request".
+type Cluster struct {
+	Servers []*Server
+	Policy  Policy
+	Clock   *simclock.Clock
+	Pending []Arrival
+
+	// Placements counts successful admissions, RejectedTicks the admission
+	// attempts that found no server.
+	Placements    int
+	RejectedTicks int
+
+	// StarveLimit, when positive, makes an arrival that has waited this
+	// long block younger arrivals until it lands (anti-starvation). Zero
+	// reproduces the paper's setting: every pending request keeps retrying
+	// independently and the distributor places whatever fits.
+	StarveLimit simclock.Seconds
+}
+
+// NewCluster builds a cluster of n full-capacity servers under the policy.
+func NewCluster(n int, policy Policy) *Cluster {
+	c := &Cluster{Policy: policy, Clock: &simclock.Clock{}}
+	for i := 0; i < n; i++ {
+		c.Servers = append(c.Servers, NewServer(i, resources.FullServer, c.Clock))
+	}
+	return c
+}
+
+// Submit enqueues an arrival.
+func (c *Cluster) Submit(a Arrival) {
+	a.Submitted = c.Clock.Now()
+	c.Pending = append(c.Pending, a)
+}
+
+// Scorer is an optional Policy refinement: when implemented, the cluster
+// places each arrival on the admitting server with the highest score instead
+// of the first that fits — CoCG scores by predicted complementarity.
+type Scorer interface {
+	Score(srv *Server, spec *gamesim.GameSpec, habit int64) (score float64, ok bool)
+}
+
+// pickServer chooses the server for an arrival: best score under a Scorer
+// policy, else first fit.
+func (c *Cluster) pickServer(a Arrival) *Server {
+	if sc, ok := c.Policy.(Scorer); ok {
+		var best *Server
+		bestScore := 0.0
+		for _, srv := range c.Servers {
+			if srv.Draining {
+				continue
+			}
+			if s, ok := sc.Score(srv, a.Spec, a.Habit); ok && (best == nil || s > bestScore) {
+				best, bestScore = srv, s
+			}
+		}
+		return best
+	}
+	for _, srv := range c.Servers {
+		if srv.Draining {
+			continue
+		}
+		if c.Policy.Admit(srv, a.Spec, a.Habit) {
+			return srv
+		}
+	}
+	return nil
+}
+
+// Drain marks a server as draining; returns false for an unknown ID.
+func (c *Cluster) Drain(serverID int) bool {
+	for _, srv := range c.Servers {
+		if srv.ID == serverID {
+			srv.Draining = true
+			return true
+		}
+	}
+	return false
+}
+
+// Undrain returns a drained server to rotation.
+func (c *Cluster) Undrain(serverID int) bool {
+	for _, srv := range c.Servers {
+		if srv.ID == serverID {
+			srv.Draining = false
+			return true
+		}
+	}
+	return false
+}
+
+// tryPlace attempts to place pending arrivals FIFO; each arrival is offered
+// to every server once per attempt round. With StarveLimit set, an arrival
+// that has waited past it blocks younger arrivals until it lands, so a heavy
+// game is never starved by a stream of small ones.
+func (c *Cluster) tryPlace() {
+	remaining := c.Pending[:0]
+	blocked := false
+	for _, a := range c.Pending {
+		if blocked {
+			remaining = append(remaining, a)
+			continue
+		}
+		placed := false
+		if srv := c.pickServer(a); srv != nil {
+			placed = true // even malformed arrivals leave the queue
+			sess, err := gamesim.NewPlayerSession(a.Spec, a.Script, a.Habit, a.SessionSeed)
+			if err == nil {
+				ctl, cerr := c.Policy.NewController(a.Spec, a.Habit)
+				if cerr == nil {
+					srv.Add(a.Spec, sess, ctl)
+					c.Placements++
+				}
+			}
+		}
+		if !placed {
+			c.RejectedTicks++
+			remaining = append(remaining, a)
+			if c.StarveLimit > 0 && c.Clock.Now()-a.Submitted > c.StarveLimit {
+				blocked = true
+			}
+		}
+	}
+	c.Pending = remaining
+}
+
+// Tick advances the whole cluster by one virtual second; placement attempts
+// run on frame boundaries (the paper's 5-second decision cadence).
+func (c *Cluster) Tick() {
+	if simclock.IsFrameBoundary(c.Clock.Now()) {
+		c.tryPlace()
+	}
+	for _, srv := range c.Servers {
+		srv.Tick(c.Policy)
+	}
+	c.Clock.Tick()
+}
+
+// Run advances the cluster for the given duration.
+func (c *Cluster) Run(d simclock.Seconds) {
+	for i := simclock.Seconds(0); i < d; i++ {
+		c.Tick()
+	}
+}
+
+// Records returns all completed-session records across servers.
+func (c *Cluster) Records() []Record {
+	var out []Record
+	for _, srv := range c.Servers {
+		out = append(out, srv.Records...)
+	}
+	return out
+}
+
+// RunningSessions counts sessions currently hosted anywhere.
+func (c *Cluster) RunningSessions() int {
+	n := 0
+	for _, srv := range c.Servers {
+		n += srv.NumHosted()
+	}
+	return n
+}

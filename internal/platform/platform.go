@@ -1,0 +1,318 @@
+// Package platform is the cloud-game hosting substrate standing in for the
+// paper's GamingAnywhere servers: it runs sessions on capacity-limited
+// servers, routes per-second measurements to a per-game controller (the
+// scheduling policy's agent), applies the policy's server-level regulation,
+// and grants resources — letting execution stages drop frames and loading
+// stages stretch exactly as the real system would.
+package platform
+
+import (
+	"fmt"
+
+	"cocg/internal/gamesim"
+	"cocg/internal/resources"
+	"cocg/internal/simclock"
+)
+
+// Controller is one game's per-session resource agent. Every virtual second
+// it observes the game's measured utilization (its demand capped by what was
+// granted) and returns the allocation cap it requests for the next second.
+type Controller interface {
+	// Name identifies the policy that produced the controller.
+	Name() string
+	// Tick observes one second of utilization and returns the requested cap.
+	Tick(util resources.Vector) resources.Vector
+	// Loading reports the controller's belief that the game is loading —
+	// the regulator steals time only from loading games.
+	Loading() bool
+}
+
+// HardCapper is an optional Controller refinement: a controller whose
+// requests are hard partitions (GAugur's fixed limits, VBP's reservations)
+// rather than soft caps. Hard-capped games do not receive work-conserving
+// spare capacity beyond their request.
+type HardCapper interface {
+	HardCapped() bool
+}
+
+// Policy is a complete co-location scheduling scheme: admission (the
+// distributor), per-game control, and server-level regulation.
+type Policy interface {
+	// Name identifies the scheme in result tables.
+	Name() string
+	// Admit reports whether the game may be placed on the server now.
+	Admit(srv *Server, spec *gamesim.GameSpec, habit int64) bool
+	// NewController returns the per-session agent for an admitted game.
+	NewController(spec *gamesim.GameSpec, habit int64) (Controller, error)
+	// Regulate may lower hosted games' requests when the server is about to
+	// oversubscribe (e.g. extend loading stages). It runs once per second
+	// after all controllers ticked.
+	Regulate(srv *Server)
+}
+
+// Hosted is one game session running on a server.
+type Hosted struct {
+	ID         int
+	Spec       *gamesim.GameSpec
+	Session    *gamesim.Session
+	Controller Controller
+	// Request is the controller's current allocation cap.
+	Request resources.Vector
+	// Granted is what the server actually gave last second.
+	Granted resources.Vector
+	// Arrived is when the session was placed.
+	Arrived simclock.Seconds
+
+	lastGrant resources.Vector
+}
+
+// Record is the outcome of one completed session.
+type Record struct {
+	Game        string
+	Arrived     simclock.Seconds
+	Finished    simclock.Seconds
+	Elapsed     simclock.Seconds
+	ExecSeconds simclock.Seconds
+	AvgFPS      float64
+	FPSRatio    float64
+	GoodFPSFrac float64
+	Degraded    float64
+	LoadStolen  float64
+	// P5FPS is the 5th-percentile per-second frame rate: the stutter floor
+	// the player actually felt.
+	P5FPS float64
+}
+
+// Server is one capacity-limited game server.
+type Server struct {
+	ID       int
+	Capacity resources.Vector
+	Hosted   []*Hosted
+	Records  []Record
+	// Draining marks a server being taken out of rotation: running sessions
+	// finish normally (cloud games cannot migrate — Section I), but the
+	// cluster places nothing new on it.
+	Draining bool
+
+	clock  *simclock.Clock
+	nextID int
+	// peakUtil tracks the highest total grant observed, for reporting.
+	peakUtil resources.Vector
+}
+
+// NewServer returns a server with the given capacity, sharing the cluster
+// clock.
+func NewServer(id int, capacity resources.Vector, clock *simclock.Clock) *Server {
+	return &Server{ID: id, Capacity: capacity, clock: clock}
+}
+
+// Add places a session on the server under the given controller.
+func (s *Server) Add(spec *gamesim.GameSpec, sess *gamesim.Session, ctl Controller) *Hosted {
+	h := &Hosted{
+		ID:         s.nextID,
+		Spec:       spec,
+		Session:    sess,
+		Controller: ctl,
+		Arrived:    s.clock.Now(),
+		lastGrant:  resources.FullServer,
+	}
+	s.nextID++
+	s.Hosted = append(s.Hosted, h)
+	return h
+}
+
+// NumHosted returns how many sessions are currently running.
+func (s *Server) NumHosted() int { return len(s.Hosted) }
+
+// Utilization returns the sum of last grants — the server's current load.
+func (s *Server) Utilization() resources.Vector {
+	var u resources.Vector
+	for _, h := range s.Hosted {
+		u = u.Add(h.Granted)
+	}
+	return u
+}
+
+// PeakUtilization returns the highest total grant seen so far.
+func (s *Server) PeakUtilization() resources.Vector { return s.peakUtil }
+
+// RequestTotal returns the sum of current controller requests.
+func (s *Server) RequestTotal() resources.Vector {
+	var u resources.Vector
+	for _, h := range s.Hosted {
+		u = u.Add(h.Request)
+	}
+	return u
+}
+
+// Tick advances the server by one virtual second under the given policy:
+// controllers observe and request, the policy regulates, and the server
+// grants min(demand, request) — scaled down proportionally per dimension in
+// the (policy-failure) case where even the needs exceed capacity.
+func (s *Server) Tick(p Policy) {
+	if len(s.Hosted) == 0 {
+		return
+	}
+	demands := make([]resources.Vector, len(s.Hosted))
+	for i, h := range s.Hosted {
+		d := h.Session.Demand()
+		demands[i] = d
+		// Measured utilization is demand capped by the previous grant: a
+		// throttled game cannot consume more than it was given.
+		util := d.Min(h.lastGrant)
+		h.Request = h.Controller.Tick(util).ClampNonNegative()
+	}
+	p.Regulate(s)
+
+	// Effective needs under the (possibly regulated) requests.
+	needs := make([]resources.Vector, len(s.Hosted))
+	var total resources.Vector
+	for i, h := range s.Hosted {
+		needs[i] = demands[i].Min(h.Request)
+		total = total.Add(needs[i])
+	}
+	// Per-dimension scale factor when needs exceed capacity.
+	var scale resources.Vector
+	for d := range scale {
+		if total[d] > s.Capacity[d] && total[d] > 0 {
+			scale[d] = s.Capacity[d] / total[d]
+		} else {
+			scale[d] = 1
+		}
+	}
+	grants := make([]resources.Vector, len(s.Hosted))
+	var granted resources.Vector
+	for i := range s.Hosted {
+		g := needs[i]
+		for d := range g {
+			g[d] *= scale[d]
+		}
+		grants[i] = g
+		granted = granted.Add(g)
+	}
+
+	// Work-conserving redistribution: capacity left over after every cap is
+	// honored flows to games whose demand exceeds their cap (a cgroup soft
+	// limit / GPU time-slice behaves the same way). Caps therefore bind
+	// only when the server is actually contended — except for hard-capped
+	// controllers (fixed partitions), which never receive spare capacity.
+	leftover := s.Capacity.Sub(granted).ClampNonNegative()
+	var deficitTotal resources.Vector
+	deficits := make([]resources.Vector, len(s.Hosted))
+	for i, h := range s.Hosted {
+		if hc, ok := h.Controller.(HardCapper); ok && hc.HardCapped() {
+			continue
+		}
+		deficits[i] = demands[i].Sub(grants[i]).ClampNonNegative()
+		deficitTotal = deficitTotal.Add(deficits[i])
+	}
+	var share resources.Vector
+	for d := range share {
+		if deficitTotal[d] > 0 {
+			share[d] = leftover[d] / deficitTotal[d]
+			if share[d] > 1 {
+				share[d] = 1
+			}
+		}
+	}
+	granted = resources.Zero
+	for i, h := range s.Hosted {
+		extra := deficits[i]
+		for d := range extra {
+			extra[d] *= share[d]
+		}
+		g := grants[i].Add(extra)
+		h.Granted = g
+		h.lastGrant = h.Request.Max(g) // the game could use up to this
+		granted = granted.Add(g)
+		h.Session.Step(g)
+	}
+	s.peakUtil = s.peakUtil.Max(granted)
+
+	// Sweep completed sessions into records.
+	remaining := s.Hosted[:0]
+	for _, h := range s.Hosted {
+		if h.Session.Done() {
+			s.Records = append(s.Records, Record{
+				Game:        h.Spec.Name,
+				Arrived:     h.Arrived,
+				Finished:    s.clock.Now(),
+				Elapsed:     h.Session.Elapsed(),
+				ExecSeconds: h.Session.ExecSeconds(),
+				AvgFPS:      h.Session.AvgFPS(),
+				FPSRatio:    h.Session.FPSRatio(),
+				GoodFPSFrac: h.Session.GoodFPSFraction(),
+				Degraded:    h.Session.DegradedFraction(),
+				LoadStolen:  h.Session.LoadExtended(),
+				P5FPS:       h.Session.FPSPercentile(5),
+			})
+		} else {
+			remaining = append(remaining, h)
+		}
+	}
+	s.Hosted = remaining
+}
+
+// Throughput computes Eq. 2 over completed records: T = Σ N_i · S_i, with
+// N_i the number of completed runs of game i and S_i the game's duration.
+// When ref provides a game's reference duration (its unimpeded session
+// length), that is used as S_i — a lag-stretched run must not count for
+// more; otherwise the mean observed duration stands in.
+func Throughput(records []Record, ref map[string]float64) float64 {
+	count := map[string]int{}
+	dur := map[string]float64{}
+	for _, r := range records {
+		count[r.Game]++
+		dur[r.Game] += float64(r.Elapsed)
+	}
+	var t float64
+	for g, n := range count {
+		s := dur[g] / float64(n)
+		if refDur, ok := ref[g]; ok && refDur > 0 {
+			s = refDur
+		}
+		t += float64(n) * s
+	}
+	return t
+}
+
+// QoSSummary aggregates QoS over records.
+type QoSSummary struct {
+	Sessions     int
+	MeanFPSRatio float64
+	MeanGoodFPS  float64
+	MeanDegraded float64
+	// ViolatedFrac is the fraction of sessions degraded for more than 5 %
+	// of their execution time — the operator tolerance of Section IV-D.
+	ViolatedFrac float64
+}
+
+// Summarize computes the QoS summary of a record set.
+func Summarize(records []Record) QoSSummary {
+	var out QoSSummary
+	out.Sessions = len(records)
+	if out.Sessions == 0 {
+		return out
+	}
+	viol := 0
+	for _, r := range records {
+		out.MeanFPSRatio += r.FPSRatio
+		out.MeanGoodFPS += r.GoodFPSFrac
+		out.MeanDegraded += r.Degraded
+		if r.Degraded > 0.05 {
+			viol++
+		}
+	}
+	n := float64(out.Sessions)
+	out.MeanFPSRatio /= n
+	out.MeanGoodFPS /= n
+	out.MeanDegraded /= n
+	out.ViolatedFrac = float64(viol) / n
+	return out
+}
+
+// String renders the summary on one line.
+func (q QoSSummary) String() string {
+	return fmt.Sprintf("sessions=%d fps=%.1f%% good=%.1f%% degraded=%.1f%% violated=%.1f%%",
+		q.Sessions, 100*q.MeanFPSRatio, 100*q.MeanGoodFPS, 100*q.MeanDegraded, 100*q.ViolatedFrac)
+}

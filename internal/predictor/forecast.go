@@ -1,0 +1,131 @@
+package predictor
+
+import (
+	"cocg/internal/dataset"
+	"cocg/internal/profiler"
+	"cocg/internal/resources"
+)
+
+// Loading reports the predictor's current belief that its game is in a
+// loading stage.
+func (pr *Predictor) Loading() bool {
+	_, loading := pr.det.Current()
+	return loading
+}
+
+// CurrentStage returns the predictor's believed current stage ID.
+func (pr *Predictor) CurrentStage() int {
+	id, _ := pr.det.Current()
+	return id
+}
+
+// ForecastCurve projects the session's expected allocation over the next
+// `frames` detection frames: the remainder of the current stage, then
+// model-predicted stages separated by typical loading gaps.
+func (pr *Predictor) ForecastCurve(frames int) []resources.Vector {
+	return pr.forecast(frames, true)
+}
+
+// ForecastDemand is ForecastCurve without the allocation headroom: the raw
+// sustained-peak demand timeline. This is what Algorithm 1's distributor
+// sums to find future peak overlaps — headroom would double-count the
+// safety margin.
+func (pr *Predictor) ForecastDemand(frames int) []resources.Vector {
+	return pr.forecast(frames, false)
+}
+
+func (pr *Predictor) forecast(frames int, headroom bool) []resources.Vector {
+	pad := func(v resources.Vector) resources.Vector {
+		if !headroom {
+			return v
+		}
+		return v.Scale(allocHeadroomScale).Add(resources.Uniform(allocHeadroomAbs)).Clamp(0, 100)
+	}
+	curve := make([]resources.Vector, 0, frames)
+	loadSig, _ := pr.profile.Stage(profiler.LoadingStageID)
+	loadFrames := int(loadSig.MeanDurFrames + 0.5)
+	if loadFrames < 1 {
+		loadFrames = 2
+	}
+	loadAlloc := pad(loadSig.Peak)
+
+	// Working copy of the stage history for iterative prediction.
+	hist := make([]dataset.StageObs, len(pr.hist))
+	copy(hist, pr.hist)
+	pos := pr.pos
+
+	emitStage := func(id int, remaining int) {
+		s, ok := pr.profile.Stage(id)
+		alloc := pr.peakM
+		if ok {
+			alloc = pad(s.Peak)
+		}
+		for i := 0; i < remaining && len(curve) < frames; i++ {
+			curve = append(curve, alloc)
+		}
+	}
+
+	// Phase 1: the rest of the current stage (or loading).
+	if pr.Loading() {
+		for i := 0; i < loadFrames && len(curve) < frames; i++ {
+			curve = append(curve, loadAlloc)
+		}
+	} else if pr.haveStage {
+		s, ok := pr.profile.Stage(pr.curID)
+		remaining := 2
+		if ok {
+			remaining = int(s.MeanDurFrames+0.5) - pr.curFrames
+			if remaining < 1 {
+				remaining = 1
+			}
+		}
+		emitStage(pr.curID, remaining)
+		hist = append(hist, dataset.StageObs{
+			ID:     pr.curID,
+			Frames: pr.curFrames,
+			Mean:   pr.curSum.Scale(1 / float64(maxInt(1, pr.curFrames))),
+		})
+		pos++
+	}
+
+	// Phase 2: iterate model predictions until the horizon fills.
+	for len(curve) < frames {
+		next := -1
+		if len(hist) > 0 {
+			feat := dataset.Features(hist, pos-1)
+			if n, err := pr.models[pr.active].Predict(feat); err == nil &&
+				n > profiler.LoadingStageID && n < pr.profile.NumStageTypes() {
+				next = n
+			}
+		} else if pr.predicted >= 0 {
+			next = pr.predicted
+		}
+		if next < 0 {
+			// No usable prediction: fill the rest with the safe peak.
+			for len(curve) < frames {
+				curve = append(curve, pr.peakM)
+			}
+			break
+		}
+		// Loading gap, then the predicted stage.
+		for i := 0; i < loadFrames && len(curve) < frames; i++ {
+			curve = append(curve, loadAlloc)
+		}
+		s, _ := pr.profile.Stage(next)
+		dur := int(s.MeanDurFrames + 0.5)
+		if dur < 1 {
+			dur = 2
+		}
+		emitStage(next, dur)
+		hist = append(hist, dataset.StageObs{ID: next, Frames: dur, Mean: s.Mean})
+		pos++
+	}
+	return curve
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,286 @@
+// Package scheduler implements CoCG's complementary resource scheduler
+// (Section IV-C): the distributor (Algorithm 1) that admits a game onto a
+// busy server only when the predicted per-game timelines never overlap past
+// capacity, and the regulator that resolves residual spikes by extending
+// loading stages and exploiting the short/long game distinction.
+package scheduler
+
+import (
+	"fmt"
+
+	"cocg/internal/gamesim"
+	"cocg/internal/platform"
+	"cocg/internal/predictor"
+	"cocg/internal/resources"
+	"cocg/internal/simclock"
+)
+
+// Config tunes the CoCG policy.
+type Config struct {
+	// SafetyMargin keeps the admitted worst-case total this many percent
+	// points below capacity; Fig. 9 keeps combined utilization under 95 %,
+	// so the default is 5.
+	SafetyMargin float64
+	// HorizonFrames is how far ahead (in 5-second frames) the distributor
+	// sums predicted timelines; <=0 means 120 frames (10 minutes).
+	HorizonFrames int
+	// LoadingFloor is the fraction of a loading game's request the
+	// regulator never cuts below, so loading always progresses; <=0 means
+	// 0.35.
+	LoadingFloor float64
+	// MinMeanSat is the minimum predicted mean demand-satisfaction over the
+	// admission window. Section IV-D's operators accept bounded degradation
+	// from brief peak interleaving (which the regulator then spreads over
+	// loading stages), but not sustained oversubscription. <=0 means 0.92.
+	MinMeanSat float64
+	// FPSSafety scales the hard per-game FPS floor: every co-located game
+	// must be predicted to keep FPSSafety × 30 FPS even at the worst
+	// predicted overlap (the paper's minimum playable frame rate,
+	// Section V-C2). <=0 means 1.15.
+	FPSSafety float64
+	// DisableLoadingSteal turns the regulator's loading-time extension off
+	// (ablation).
+	DisableLoadingSteal bool
+	// Predictor configures the per-session predictors.
+	Predictor predictor.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.SafetyMargin <= 0 {
+		c.SafetyMargin = 5
+	}
+	if c.HorizonFrames <= 0 {
+		c.HorizonFrames = 120
+	}
+	if c.LoadingFloor <= 0 {
+		c.LoadingFloor = 0.35
+	}
+	if c.MinMeanSat <= 0 {
+		c.MinMeanSat = 0.95
+	}
+	if c.FPSSafety <= 0 {
+		c.FPSSafety = 1.15
+	}
+	return c
+}
+
+// CoCG is the paper's scheduling policy over a set of offline-trained games.
+type CoCG struct {
+	trained map[string]*predictor.Trained
+	cfg     Config
+}
+
+// New builds the policy from the offline training bundles of every game the
+// platform may host.
+func New(bundles []*predictor.Trained, cfg Config) *CoCG {
+	m := make(map[string]*predictor.Trained, len(bundles))
+	for _, b := range bundles {
+		m[b.Spec.Name] = b
+	}
+	return &CoCG{trained: m, cfg: cfg.withDefaults()}
+}
+
+// Name implements platform.Policy.
+func (c *CoCG) Name() string { return "CoCG" }
+
+// Controller is the per-session agent: a thin adapter from the platform's
+// per-second ticks to the predictor's frame loop.
+type Controller struct {
+	pr *predictor.Predictor
+}
+
+// Name implements platform.Controller.
+func (ctl *Controller) Name() string { return "CoCG" }
+
+// Tick implements platform.Controller.
+func (ctl *Controller) Tick(util resources.Vector) resources.Vector {
+	ctl.pr.Observe(util)
+	return ctl.pr.Alloc()
+}
+
+// Loading implements platform.Controller.
+func (ctl *Controller) Loading() bool { return ctl.pr.Loading() }
+
+// Predictor exposes the wrapped predictor (experiments inspect it).
+func (ctl *Controller) Predictor() *predictor.Predictor { return ctl.pr }
+
+// NewController implements platform.Policy.
+func (c *CoCG) NewController(spec *gamesim.GameSpec, habit int64) (platform.Controller, error) {
+	b, ok := c.trained[spec.Name]
+	if !ok {
+		return nil, fmt.Errorf("scheduler: no trained bundle for %s", spec.Name)
+	}
+	pr, err := b.NewSessionPredictorForHabit(habit, c.cfg.Predictor)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{pr: pr}, nil
+}
+
+// Admit implements platform.Policy: Algorithm 1. It sums each hosted game's
+// predicted demand timeline with the arriving game's typical footprint and
+// admits when (a) even the worst predicted overlap leaves every game above
+// its minimum playable frame rate, and (b) the mean predicted satisfaction
+// over the candidate's lifetime stays high — Section IV-D's operators accept
+// brief peak interleaving (which the regulator staggers by stretching
+// loading stages) but not sustained oversubscription. Because a short
+// game's whole footprint can fit inside a long game's low-consumption
+// window, the "distinguish game length" strategy of Section IV-C2 falls out
+// of the same test.
+func (c *CoCG) Admit(srv *platform.Server, spec *gamesim.GameSpec, habit int64) bool {
+	ok, _ := c.evaluate(srv, spec)
+	return ok
+}
+
+// Score implements the optional placement scorer: among servers that can
+// admit the game, the cluster prefers the one whose predicted timelines are
+// most complementary to the arrival (highest predicted mean satisfaction).
+func (c *CoCG) Score(srv *platform.Server, spec *gamesim.GameSpec, habit int64) (float64, bool) {
+	ok, meanSat := c.evaluate(srv, spec)
+	if !ok {
+		return 0, false
+	}
+	// Prefer busier servers at equal satisfaction (consolidation), so new
+	// servers stay free for games that genuinely need headroom.
+	return meanSat + 0.001*float64(srv.NumHosted()), true
+}
+
+// evaluate runs the Algorithm 1 feasibility test and returns the predicted
+// mean satisfaction over the candidate's lifetime.
+func (c *CoCG) evaluate(srv *platform.Server, spec *gamesim.GameSpec) (bool, float64) {
+	b, ok := c.trained[spec.Name]
+	if !ok {
+		return false, 0
+	}
+	h := c.cfg.HorizonFrames
+
+	// The hard satisfaction floor: the most demanding frame lock among the
+	// games that would share the server. A 60 FPS-locked game needs half
+	// its demand satisfied to stay above 30 FPS; an uncapped 200 FPS game
+	// tolerates far deeper throttling.
+	satFloor := c.cfg.FPSSafety * 30 / spec.EffectiveFPS()
+	for _, hosted := range srv.Hosted {
+		if f := c.cfg.FPSSafety * 30 / hosted.Spec.EffectiveFPS(); f > satFloor {
+			satFloor = f
+		}
+	}
+	if satFloor > 1 {
+		return false, 0
+	}
+
+	// Peak-depth guard: prediction staggers peaks, but it cannot guarantee
+	// they never meet (Section IV-D). If every co-located game peaked at
+	// once, satisfaction would be capacity / Σpeaks; that worst case must
+	// stay above the FPS floor, or a drift in long sessions turns into
+	// sustained violations the regulator cannot fix (execution stages have
+	// no time to steal). This is what leaves some heavy pairs "unable to
+	// run on the same machine" (Section V-B2).
+	peakSum := b.Profile.PeakDemand()
+	for _, hosted := range srv.Hosted {
+		if hb, ok := c.trained[hosted.Spec.Name]; ok {
+			peakSum = peakSum.Add(hb.Profile.PeakDemand())
+		} else {
+			peakSum = peakSum.Add(hosted.Request)
+		}
+	}
+	if !peakSum.Fits(srv.Capacity.Scale(2 - satFloor)) {
+		return false, 0
+	}
+
+	// Hosted games' predicted demand timelines.
+	total := make([]resources.Vector, h)
+	for _, hosted := range srv.Hosted {
+		ctl, ok := hosted.Controller.(*Controller)
+		if !ok {
+			// Foreign controller: assume its game holds its current request
+			// forever (the conservative flat timeline).
+			for t := 0; t < h; t++ {
+				total[t] = total[t].Add(hosted.Request)
+			}
+			continue
+		}
+		curve := ctl.pr.ForecastDemand(h)
+		for t := 0; t < h && t < len(curve); t++ {
+			total[t] = total[t].Add(curve[t])
+		}
+	}
+	// The arriving game's expected footprint, from its profiling corpus.
+	cand := b.TypicalCurve
+	limit := srv.Capacity.Sub(resources.Uniform(c.cfg.SafetyMargin))
+	// The judgment window is the candidate's expected lifetime (capped by
+	// the horizon): overlaps after it has finished are irrelevant.
+	window := h
+	if len(cand) > 0 && len(cand) < window {
+		window = len(cand)
+	}
+	var satSum float64
+	for t := 0; t < window; t++ {
+		sum := total[t]
+		if t < len(cand) {
+			sum = sum.Add(cand[t])
+		} else {
+			sum = sum.Add(b.Profile.PeakDemand())
+		}
+		// Predicted satisfaction under proportional scaling at this moment.
+		sat := 1.0
+		for d := range sum {
+			if sum[d] > limit[d] && sum[d] > 0 {
+				if s := limit[d] / sum[d]; s < sat {
+					sat = s
+				}
+			}
+		}
+		if sat < satFloor {
+			return false, 0
+		}
+		satSum += sat
+	}
+	meanSat := satSum / float64(window)
+	return meanSat >= c.cfg.MinMeanSat, meanSat
+}
+
+// Regulate implements platform.Policy: when the hosted games' combined
+// requests head past capacity, the regulator first throttles games that are
+// loading — users tolerate a longer loading screen far better than dropped
+// frames at a peak (Observation 4) — and only the platform's proportional
+// scaling touches executing games if that is not enough.
+func (c *CoCG) Regulate(srv *platform.Server) {
+	if c.cfg.DisableLoadingSteal {
+		return
+	}
+	limit := srv.Capacity.Sub(resources.Uniform(c.cfg.SafetyMargin))
+	total := srv.RequestTotal()
+	over := total.Sub(limit).ClampNonNegative()
+	if over.IsZero() {
+		return
+	}
+	for _, hosted := range srv.Hosted {
+		if over.IsZero() {
+			break
+		}
+		if !hosted.Controller.Loading() {
+			continue
+		}
+		floor := hosted.Request.Scale(c.cfg.LoadingFloor)
+		reducible := hosted.Request.Sub(floor).ClampNonNegative()
+		cut := reducible.Min(over)
+		hosted.Request = hosted.Request.Sub(cut)
+		over = over.Sub(cut).ClampNonNegative()
+	}
+}
+
+// PredictionLatencyFor reports the simulated prediction latency for a game's
+// active models (Fig. 12).
+func (c *CoCG) PredictionLatencyFor(game string) (simclock.Seconds, bool) {
+	b, ok := c.trained[game]
+	if !ok {
+		return 0, false
+	}
+	var worst simclock.Seconds
+	for _, m := range b.Models {
+		if l := predictor.PredictionLatency(m, b.Profile.NumStageTypes()); l > worst {
+			worst = l
+		}
+	}
+	return worst, true
+}

@@ -1,0 +1,269 @@
+package scheduler
+
+import (
+	"testing"
+
+	"cocg/internal/gamesim"
+	"cocg/internal/platform"
+	"cocg/internal/predictor"
+	"cocg/internal/resources"
+	"cocg/internal/workload"
+)
+
+var bundleCache = map[string]*predictor.Trained{}
+
+func bundleFor(t *testing.T, spec *gamesim.GameSpec) *predictor.Trained {
+	t.Helper()
+	if b, ok := bundleCache[spec.Name]; ok {
+		return b
+	}
+	b, err := predictor.TrainForGame(spec, predictor.TrainConfig{Players: 8, SessionsPerPlayer: 3, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundleCache[spec.Name] = b
+	return b
+}
+
+func policyFor(t *testing.T, specs ...*gamesim.GameSpec) *CoCG {
+	t.Helper()
+	var bundles []*predictor.Trained
+	for _, s := range specs {
+		bundles = append(bundles, bundleFor(t, s))
+	}
+	return New(bundles, Config{})
+}
+
+func TestPolicyName(t *testing.T) {
+	p := policyFor(t, gamesim.Contra())
+	if p.Name() != "CoCG" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestAdmitUnknownGame(t *testing.T) {
+	p := policyFor(t, gamesim.Contra())
+	c := platform.NewCluster(1, p)
+	if p.Admit(c.Servers[0], gamesim.CSGO(), 1) {
+		t.Error("admitted a game with no trained bundle")
+	}
+	if _, err := p.NewController(gamesim.CSGO(), 1); err == nil {
+		t.Error("controller for unknown game did not error")
+	}
+}
+
+func TestAdmitEmptyServer(t *testing.T) {
+	p := policyFor(t, gamesim.Contra(), gamesim.DevilMayCry())
+	c := platform.NewCluster(1, p)
+	for _, g := range []*gamesim.GameSpec{gamesim.Contra(), gamesim.DevilMayCry()} {
+		if !p.Admit(c.Servers[0], g, 1) {
+			t.Errorf("empty server rejected %s", g.Name)
+		}
+	}
+}
+
+func TestAdmitRejectsOverload(t *testing.T) {
+	// Two Devil May Cry boss-heavy sessions cannot share a server with a
+	// third: peak stages approach 90 % GPU alone.
+	spec := gamesim.DevilMayCry()
+	p := policyFor(t, spec)
+	c := platform.NewCluster(1, p)
+	srv := c.Servers[0]
+	placed := 0
+	for i := int64(0); i < 4; i++ {
+		if !p.Admit(srv, spec, i) {
+			break
+		}
+		sess, err := gamesim.NewSession(spec, 2, 100+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl, err := p.NewController(spec, 100+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Add(spec, sess, ctl)
+		// Let controllers tick a few frames so requests are realistic.
+		for j := 0; j < 30; j++ {
+			c.Tick()
+		}
+		placed++
+	}
+	if placed >= 4 {
+		t.Errorf("distributor admitted %d heavy games on one server", placed)
+	}
+	if placed == 0 {
+		t.Error("distributor admitted nothing")
+	}
+}
+
+func TestCoLocationKeepsQoS(t *testing.T) {
+	// The headline behavior (Fig. 9): Genshin Impact + DOTA2 on one server,
+	// utilization stays below the cap and sessions keep good FPS.
+	ga, do := gamesim.GenshinImpact(), gamesim.DOTA2()
+	p := policyFor(t, ga, do)
+	c := platform.NewCluster(1, p)
+	gen := workload.NewGenerator(map[string][]int64{
+		ga.Name: bundleFor(t, ga).Habits(),
+		do.Name: bundleFor(t, do).Habits(),
+	}, 7)
+	stream := &workload.PairStream{Gen: gen, A: ga, B: do, Backlog: 1}
+	for i := 0; i < 3600; i++ {
+		stream.Feed(c)
+		c.Tick()
+	}
+	recs := c.Records()
+	if len(recs) < 3 {
+		t.Fatalf("only %d sessions completed in an hour", len(recs))
+	}
+	sum := platform.Summarize(recs)
+	if sum.MeanFPSRatio < 0.9 {
+		t.Errorf("mean FPS ratio %.3f", sum.MeanFPSRatio)
+	}
+	if sum.MeanDegraded > 0.05 {
+		t.Errorf("mean degraded %.3f exceeds the 5%% operator tolerance", sum.MeanDegraded)
+	}
+	// At least once the two games must actually have been co-located.
+	if c.Servers[0].PeakUtilization().Dominant() < 60 {
+		t.Errorf("peak utilization %.1f suggests no co-location happened",
+			c.Servers[0].PeakUtilization().Dominant())
+	}
+}
+
+func TestRegulatorStealsFromLoading(t *testing.T) {
+	spec := gamesim.DevilMayCry()
+	p := policyFor(t, spec)
+	c := platform.NewCluster(1, p)
+	srv := c.Servers[0]
+
+	// Hand-craft a contended situation: one exec-heavy controller and one
+	// loading controller, with requests summing over the limit.
+	mk := func(loading bool, req resources.Vector) *platform.Hosted {
+		sess, err := gamesim.NewSession(spec, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := srv.Add(spec, sess, &stubController{loading: loading})
+		h.Request = req
+		return h
+	}
+	exec := mk(false, resources.Uniform(70))
+	load := mk(true, resources.Uniform(50))
+
+	p.Regulate(srv)
+	if exec.Request != resources.Uniform(70) {
+		t.Errorf("regulator touched the executing game: %v", exec.Request)
+	}
+	if load.Request[resources.CPU] >= 50 {
+		t.Errorf("regulator did not throttle the loading game: %v", load.Request)
+	}
+	// The loading floor must hold.
+	if load.Request[resources.CPU] < 50*0.35-1e-9 {
+		t.Errorf("regulator cut below the floor: %v", load.Request)
+	}
+}
+
+func TestRegulatorNoopUnderLimit(t *testing.T) {
+	spec := gamesim.Contra()
+	p := policyFor(t, spec)
+	c := platform.NewCluster(1, p)
+	srv := c.Servers[0]
+	sess, _ := gamesim.NewSession(spec, 0, 1)
+	h := srv.Add(spec, sess, &stubController{loading: true})
+	h.Request = resources.Uniform(20)
+	p.Regulate(srv)
+	if h.Request != resources.Uniform(20) {
+		t.Errorf("regulator acted below the limit: %v", h.Request)
+	}
+}
+
+func TestRegulatorDisabledByConfig(t *testing.T) {
+	spec := gamesim.Contra()
+	b := bundleFor(t, spec)
+	p := New([]*predictor.Trained{b}, Config{DisableLoadingSteal: true})
+	c := platform.NewCluster(1, p)
+	srv := c.Servers[0]
+	sess, _ := gamesim.NewSession(spec, 0, 1)
+	h := srv.Add(spec, sess, &stubController{loading: true})
+	h.Request = resources.Uniform(90)
+	sess2, _ := gamesim.NewSession(spec, 0, 2)
+	h2 := srv.Add(spec, sess2, &stubController{loading: false})
+	h2.Request = resources.Uniform(90)
+	p.Regulate(srv)
+	if h.Request != resources.Uniform(90) {
+		t.Error("disabled regulator still acted")
+	}
+}
+
+func TestPredictionLatencyFor(t *testing.T) {
+	p := policyFor(t, gamesim.CSGO())
+	lat, ok := p.PredictionLatencyFor("CSGO")
+	if !ok || lat < 3 || lat > 13 {
+		t.Errorf("latency = %d, ok=%v", lat, ok)
+	}
+	if _, ok := p.PredictionLatencyFor("nope"); ok {
+		t.Error("latency for unknown game")
+	}
+}
+
+// stubController reports a fixed loading state; requests are set directly on
+// the Hosted.
+type stubController struct{ loading bool }
+
+func (s *stubController) Name() string                           { return "stub" }
+func (s *stubController) Tick(resources.Vector) resources.Vector { return resources.Zero }
+func (s *stubController) Loading() bool                          { return s.loading }
+
+func TestPeakDepthGuard(t *testing.T) {
+	// Two frame-locked heavy games (Genshin + DMC) must refuse to share a
+	// server — their combined worst case breaks the 30 FPS floor — while
+	// DOTA2 + DMC (one uncapped, moderate peak) is admissible.
+	ga, dmc, do := gamesim.GenshinImpact(), gamesim.DevilMayCry(), gamesim.DOTA2()
+	p := policyFor(t, ga, dmc, do)
+	c := platform.NewCluster(1, p)
+	srv := c.Servers[0]
+
+	sess, err := gamesim.NewSession(dmc, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := p.NewController(dmc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Add(dmc, sess, ctl)
+	for i := 0; i < 30; i++ {
+		c.Tick()
+	}
+
+	if p.Admit(srv, ga, 2) {
+		t.Error("Genshin admitted next to Devil May Cry (peak sum breaks the FPS floor)")
+	}
+	if !p.Admit(srv, do, 3) {
+		t.Error("DOTA2 refused next to Devil May Cry (the paper's featured pair)")
+	}
+}
+
+func TestScorePrefersAdmissibleServers(t *testing.T) {
+	spec := gamesim.Contra()
+	p := policyFor(t, spec)
+	c := platform.NewCluster(2, p)
+	// Score must be ok on an empty server and carry a consolidation bias.
+	s0, ok0 := p.Score(c.Servers[0], spec, 1)
+	if !ok0 {
+		t.Fatal("empty server not scorable")
+	}
+	sess, _ := gamesim.NewSession(spec, 0, 5)
+	ctl, _ := p.NewController(spec, 5)
+	c.Servers[1].Add(spec, sess, ctl)
+	for i := 0; i < 30; i++ {
+		c.Tick()
+	}
+	s1, ok1 := p.Score(c.Servers[1], spec, 2)
+	if !ok1 {
+		t.Fatal("busy-but-light server not scorable")
+	}
+	if s1 <= s0-0.01 {
+		t.Errorf("busy server score %.4f not close to empty %.4f despite consolidation bias", s1, s0)
+	}
+}

@@ -1,0 +1,30 @@
+package simclock_test
+
+import (
+	"fmt"
+
+	"cocg/internal/simclock"
+)
+
+// ExampleClock shows the virtual time base every CoCG component shares.
+func ExampleClock() {
+	var c simclock.Clock
+	c.Advance(2*simclock.Hour + 3*simclock.Minute + 4*simclock.Second)
+	fmt.Println(c.Now())
+	fmt.Println(simclock.IsFrameBoundary(c.Now()))
+	// Output:
+	// 2:03:04
+	// false
+}
+
+// ExampleFrameIndex maps seconds onto the paper's 5-second detection frames.
+func ExampleFrameIndex() {
+	for _, t := range []simclock.Seconds{0, 4, 5, 12} {
+		fmt.Println(t, "->", simclock.FrameIndex(t))
+	}
+	// Output:
+	// 0:00:00 -> 0
+	// 0:00:04 -> 0
+	// 0:00:05 -> 1
+	// 0:00:12 -> 2
+}

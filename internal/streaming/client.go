@@ -1,0 +1,132 @@
+package streaming
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"cocg/internal/netmodel"
+)
+
+// ErrRejected is returned when the server declines the session.
+var ErrRejected = errors.New("streaming: session rejected")
+
+// ClientStats summarizes what a client experienced.
+type ClientStats struct {
+	Game        string
+	SessionID   int64
+	Frames      int     // frame batches received
+	LoadingSec  int     // seconds spent on loading screens
+	MeanFPS     float64 // mean of received per-second frame rates
+	MeanBitrate float64 // kbps
+	MeanRTTMS   float64 // input-to-echo round trip
+	// Net summarizes the simulated last-mile delivery when a Link was
+	// configured.
+	Net   netmodel.Stats
+	Final SessionStat
+}
+
+// ClientConfig shapes a playing client.
+type ClientConfig struct {
+	Game   string
+	Script int
+	Habit  int64
+	// InputEvery sends one input batch per this many received frame
+	// batches; <=0 means 2.
+	InputEvery int
+	// Timeout bounds the whole session; <=0 means 2 minutes.
+	Timeout time.Duration
+	// Link, when set, simulates the player's last-mile network: every
+	// frame batch is "transmitted" through it and delivery stats are
+	// reported in ClientStats.Net (the operator-managed connection of
+	// Fig. 1).
+	Link *netmodel.Link
+}
+
+// Play connects to a streaming server, plays one full session, and returns
+// the client-side statistics — the measurement point of the player
+// experience in Fig. 1.
+func Play(addr string, cfg ClientConfig) (*ClientStats, error) {
+	if cfg.InputEvery <= 0 {
+		cfg.InputEvery = 2
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	nc.SetDeadline(time.Now().Add(cfg.Timeout))
+	conn := NewConn(nc)
+	defer conn.Close()
+
+	if err := conn.Send(&Envelope{Type: MsgHello, Hello: &Hello{
+		Game: cfg.Game, Script: cfg.Script, Habit: cfg.Habit,
+	}}); err != nil {
+		return nil, err
+	}
+	env, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	switch env.Type {
+	case MsgAccept:
+	case MsgReject:
+		return nil, fmt.Errorf("%w: %s", ErrRejected, env.Reject.Reason)
+	default:
+		return nil, fmt.Errorf("streaming: unexpected reply %q", env.Type)
+	}
+
+	stats := &ClientStats{Game: cfg.Game, SessionID: env.Accept.SessionID}
+	var fpsSum, brSum, rttSum float64
+	var rttN int
+	var inputSeq int64
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		switch env.Type {
+		case MsgFrames:
+			f := env.Frames
+			stats.Frames++
+			fpsSum += f.FPS
+			brSum += f.BitrateKbps
+			if cfg.Link != nil {
+				stats.Net.Observe(cfg.Link.Send(f.BitrateKbps))
+			}
+			if f.Loading {
+				stats.LoadingSec += 5
+			}
+			if f.EchoSeq == inputSeq && f.EchoSentAtMS > 0 {
+				rttSum += float64(time.Now().UnixMilli() - f.EchoSentAtMS)
+				rttN++
+			}
+			if stats.Frames%cfg.InputEvery == 0 {
+				inputSeq++
+				if err := conn.Send(&Envelope{Type: MsgInput, Input: &InputBatch{
+					SessionID: stats.SessionID,
+					Seq:       inputSeq,
+					Events:    30,
+					SentAtMS:  time.Now().UnixMilli(),
+				}}); err != nil {
+					return nil, err
+				}
+			}
+		case MsgEnd:
+			stats.Final = *env.End
+			if stats.Frames > 0 {
+				stats.MeanFPS = fpsSum / float64(stats.Frames)
+				stats.MeanBitrate = brSum / float64(stats.Frames)
+			}
+			if rttN > 0 {
+				stats.MeanRTTMS = rttSum / float64(rttN)
+			}
+			return stats, nil
+		default:
+			return nil, fmt.Errorf("streaming: unexpected mid-session message %q", env.Type)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package streaming
+
+import (
+	"cocg/internal/resources"
+)
+
+// Encoder models the server-side video encoder of the GA pipeline: the
+// output bitrate scales with the achieved frame rate and with scene motion
+// (a busy battle costs more bits than a loading screen), capped by the
+// configured ceiling — the knobs a real cloud-gaming encoder exposes.
+type Encoder struct {
+	// BaseKbps is the bitrate of a 60 FPS medium-motion scene.
+	BaseKbps float64
+	// MaxKbps caps the output (network budget).
+	MaxKbps float64
+	// MinKbps is the floor for any non-black frame output.
+	MinKbps float64
+}
+
+// DefaultEncoder returns settings typical of a 1080p60 cloud-game stream.
+func DefaultEncoder() Encoder {
+	return Encoder{BaseKbps: 8000, MaxKbps: 20000, MinKbps: 300}
+}
+
+// Encode returns the bitrate for one second of video at the given achieved
+// FPS and scene demand. Loading screens are near-static and compress to
+// almost nothing — the delivery-side reason loading stages are cheap.
+func (e Encoder) Encode(fps float64, demand resources.Vector, loading bool) float64 {
+	if fps <= 0 {
+		return e.MinKbps
+	}
+	if loading {
+		// A static loading screen: intra refreshes only.
+		return clamp(e.MinKbps*2, e.MinKbps, e.MaxKbps)
+	}
+	// Motion scales with GPU load: a 90 % GPU battle scene moves a lot.
+	motion := 0.5 + demand[resources.GPU]/100
+	rate := e.BaseKbps * (fps / 60) * motion
+	return clamp(rate, e.MinKbps, e.MaxKbps)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

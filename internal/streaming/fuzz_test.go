@@ -1,0 +1,66 @@
+package streaming
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzRecv throws arbitrary bytes at the wire decoder: it must either return
+// a validated envelope or an error, never panic or accept a payload-less
+// message.
+func FuzzRecv(f *testing.F) {
+	f.Add([]byte(`{"type":"hello","hello":{"game":"Contra","script":0}}` + "\n"))
+	f.Add([]byte(`{"type":"frames","frames":{"session_id":1,"seq":2,"fps":60}}` + "\n"))
+	f.Add([]byte(`{"type":"hello"}` + "\n"))
+	f.Add([]byte(`{"type":"zzz"}` + "\n"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte("\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if !bytes.HasSuffix(data, []byte("\n")) {
+			data = append(data, '\n')
+		}
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		go func() {
+			a.Write(data)
+			a.Close()
+		}()
+		b.SetReadDeadline(time.Now().Add(time.Second))
+		conn := NewConn(b)
+		env, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if verr := env.validate(); verr != nil {
+			t.Fatalf("Recv returned an invalid envelope: %v", verr)
+		}
+	})
+}
+
+// FuzzEnvelopeRoundTrip checks that any valid envelope survives a
+// marshal/unmarshal cycle.
+func FuzzEnvelopeRoundTrip(f *testing.F) {
+	f.Add("Contra", 0, int64(42))
+	f.Add("Genshin Impact", 2, int64(-1))
+	f.Fuzz(func(t *testing.T, game string, script int, habit int64) {
+		in := &Envelope{Type: MsgHello, Hello: &Hello{Game: game, Script: script, Habit: habit}}
+		blob, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Envelope
+		if err := json.Unmarshal(blob, &out); err != nil {
+			t.Fatal(err)
+		}
+		if err := out.validate(); err != nil {
+			t.Fatal(err)
+		}
+		if out.Hello.Game != game || out.Hello.Script != script || out.Hello.Habit != habit {
+			t.Fatal("round trip changed the hello")
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package streaming
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"cocg/internal/resources"
+)
+
+// MetricsHandler returns an http.Handler exposing the server's operational
+// state: Prometheus-style text at /metrics and a JSON snapshot at /status —
+// what a cloud-game operator's dashboard scrapes.
+func (s *Server) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/status", s.serveStatus)
+	return mux
+}
+
+// snapshot collects a consistent view under the server lock.
+type snapshot struct {
+	LiveSessions int              `json:"live_sessions"`
+	Placements   int              `json:"placements"`
+	Pending      int              `json:"pending"`
+	Completed    int              `json:"completed"`
+	Servers      []serverSnapshot `json:"servers"`
+}
+
+type serverSnapshot struct {
+	ID     int              `json:"id"`
+	Hosted int              `json:"hosted"`
+	Util   resources.Vector `json:"utilization"`
+	Peak   resources.Vector `json:"peak_utilization"`
+}
+
+func (s *Server) snapshot() snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := snapshot{
+		LiveSessions: len(s.sessions),
+		Placements:   s.cluster.Placements,
+		Pending:      len(s.cluster.Pending),
+	}
+	for _, srv := range s.cluster.Servers {
+		out.Completed += len(srv.Records)
+		out.Servers = append(out.Servers, serverSnapshot{
+			ID:     srv.ID,
+			Hosted: srv.NumHosted(),
+			Util:   srv.Utilization(),
+			Peak:   srv.PeakUtilization(),
+		})
+	}
+	return out
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP cocg_live_sessions Currently connected streaming sessions.\n")
+	fmt.Fprintf(w, "# TYPE cocg_live_sessions gauge\ncocg_live_sessions %d\n", snap.LiveSessions)
+	fmt.Fprintf(w, "# HELP cocg_placements_total Sessions placed since start.\n")
+	fmt.Fprintf(w, "# TYPE cocg_placements_total counter\ncocg_placements_total %d\n", snap.Placements)
+	fmt.Fprintf(w, "# HELP cocg_pending_arrivals Arrivals waiting for a server.\n")
+	fmt.Fprintf(w, "# TYPE cocg_pending_arrivals gauge\ncocg_pending_arrivals %d\n", snap.Pending)
+	fmt.Fprintf(w, "# HELP cocg_completed_sessions_total Sessions finished since start.\n")
+	fmt.Fprintf(w, "# TYPE cocg_completed_sessions_total counter\ncocg_completed_sessions_total %d\n", snap.Completed)
+	fmt.Fprintf(w, "# HELP cocg_server_hosted Games hosted per backend server.\n")
+	fmt.Fprintf(w, "# TYPE cocg_server_hosted gauge\n")
+	for _, srv := range snap.Servers {
+		fmt.Fprintf(w, "cocg_server_hosted{server=\"%d\"} %d\n", srv.ID, srv.Hosted)
+	}
+	fmt.Fprintf(w, "# HELP cocg_server_utilization Per-dimension utilization percent.\n")
+	fmt.Fprintf(w, "# TYPE cocg_server_utilization gauge\n")
+	for _, srv := range snap.Servers {
+		for d := resources.Dim(0); d < resources.NumDims; d++ {
+			fmt.Fprintf(w, "cocg_server_utilization{server=\"%d\",dim=%q} %.2f\n",
+				srv.ID, d.String(), srv.Util[d])
+		}
+	}
+}
+
+func (s *Server) serveStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.snapshot())
+}

@@ -1,0 +1,87 @@
+package streaming
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := startServer(t)
+	// Play one quick session so the counters move.
+	if _, err := Play(s.Addr(), ClientConfig{Game: "Contra", Script: 0}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.MetricsHandler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"cocg_live_sessions",
+		"cocg_placements_total 1",
+		"cocg_completed_sessions_total 1",
+		"cocg_server_hosted{server=\"0\"}",
+		"cocg_server_utilization{server=\"1\",dim=\"gpu\"}",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Placements int `json:"placements"`
+		Completed  int `json:"completed"`
+		Servers    []struct {
+			ID int `json:"id"`
+		} `json:"servers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Placements != 1 || snap.Completed != 1 || len(snap.Servers) != 2 {
+		t.Errorf("status = %+v", snap)
+	}
+}
+
+func TestMetricsWhileSessionLive(t *testing.T) {
+	s := startServer(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Play(s.Addr(), ClientConfig{Game: "Genshin Impact", Script: 0, Timeout: time.Minute})
+	}()
+	// Wait for the session to appear, then scrape.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Sessions() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.Sessions() == 0 {
+		t.Fatal("session never appeared")
+	}
+	ts := httptest.NewServer(s.MetricsHandler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "cocg_live_sessions 1") {
+		t.Errorf("live session not reported:\n%s", body)
+	}
+	<-done
+}

@@ -1,0 +1,162 @@
+// Package streaming is the GamingAnywhere-style delivery substrate of the
+// paper's Fig. 1 workflow: the server runs game sessions, encodes their
+// rendered frames, and streams them to clients over TCP; clients send input
+// events back. The co-location scheduler decides what runs where; this
+// package carries the player-facing loop around it.
+//
+// The wire protocol is newline-delimited JSON — small, debuggable, and
+// entirely stdlib.
+package streaming
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+)
+
+// MsgType discriminates wire messages.
+type MsgType string
+
+// Wire message types.
+const (
+	// MsgHello is the client's opening request: which game to play.
+	MsgHello MsgType = "hello"
+	// MsgAccept is the server's admission answer.
+	MsgAccept MsgType = "accept"
+	// MsgReject tells the client no server can host it right now.
+	MsgReject MsgType = "reject"
+	// MsgInput carries one batch of player input events (client -> server).
+	MsgInput MsgType = "input"
+	// MsgFrames carries one interval's encoded frame batch (server -> client).
+	MsgFrames MsgType = "frames"
+	// MsgEnd closes a session with its final statistics.
+	MsgEnd MsgType = "end"
+)
+
+// Envelope is the single wire frame; exactly one payload field is set,
+// matching Type.
+type Envelope struct {
+	Type   MsgType      `json:"type"`
+	Hello  *Hello       `json:"hello,omitempty"`
+	Accept *Accept      `json:"accept,omitempty"`
+	Reject *Reject      `json:"reject,omitempty"`
+	Input  *InputBatch  `json:"input,omitempty"`
+	Frames *FrameBatch  `json:"frames,omitempty"`
+	End    *SessionStat `json:"end,omitempty"`
+}
+
+// Hello opens a session.
+type Hello struct {
+	Game   string `json:"game"`
+	Script int    `json:"script"`
+	// Habit identifies a returning player; 0 lets the server assign one.
+	Habit int64 `json:"habit,omitempty"`
+}
+
+// Accept confirms placement.
+type Accept struct {
+	SessionID int64  `json:"session_id"`
+	Server    int    `json:"server"`
+	Game      string `json:"game"`
+}
+
+// Reject declines a Hello.
+type Reject struct {
+	Reason string `json:"reason"`
+}
+
+// InputBatch is a second's worth of player inputs.
+type InputBatch struct {
+	SessionID int64 `json:"session_id"`
+	Seq       int64 `json:"seq"`
+	Events    int   `json:"events"`
+	SentAtMS  int64 `json:"sent_at_ms"`
+}
+
+// FrameBatch is one virtual second of encoded video.
+type FrameBatch struct {
+	SessionID int64 `json:"session_id"`
+	Seq       int64 `json:"seq"`
+	// FPS is the frame rate achieved this second.
+	FPS float64 `json:"fps"`
+	// BitrateKbps is the encoder's output rate this second.
+	BitrateKbps float64 `json:"bitrate_kbps"`
+	// Stage is the detected stage ID (telemetry for the client HUD).
+	Stage int `json:"stage"`
+	// Loading reports whether the game is in a loading screen.
+	Loading bool `json:"loading"`
+	// EchoSeq acknowledges the latest input batch, for RTT estimation.
+	EchoSeq int64 `json:"echo_seq"`
+	// EchoSentAtMS echoes that input's send timestamp.
+	EchoSentAtMS int64 `json:"echo_sent_at_ms"`
+}
+
+// SessionStat closes a session.
+type SessionStat struct {
+	SessionID   int64   `json:"session_id"`
+	DurationSec int64   `json:"duration_sec"`
+	AvgFPS      float64 `json:"avg_fps"`
+	FPSRatio    float64 `json:"fps_ratio"`
+	Degraded    float64 `json:"degraded"`
+}
+
+// Conn wraps a TCP connection with JSON-lines framing. It is safe for one
+// concurrent reader and one concurrent writer (the protocol is full-duplex).
+type Conn struct {
+	c   net.Conn
+	r   *bufio.Reader
+	enc *json.Encoder
+}
+
+// NewConn frames an established connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, r: bufio.NewReader(c), enc: json.NewEncoder(c)}
+}
+
+// Send writes one envelope.
+func (c *Conn) Send(e *Envelope) error { return c.enc.Encode(e) }
+
+// Recv reads the next envelope.
+func (c *Conn) Recv() (*Envelope, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var e Envelope
+	if err := json.Unmarshal(line, &e); err != nil {
+		return nil, fmt.Errorf("streaming: bad frame: %w", err)
+	}
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// validate checks that the payload matches the declared type.
+func (e *Envelope) validate() error {
+	var ok bool
+	switch e.Type {
+	case MsgHello:
+		ok = e.Hello != nil
+	case MsgAccept:
+		ok = e.Accept != nil
+	case MsgReject:
+		ok = e.Reject != nil
+	case MsgInput:
+		ok = e.Input != nil
+	case MsgFrames:
+		ok = e.Frames != nil
+	case MsgEnd:
+		ok = e.End != nil
+	default:
+		return fmt.Errorf("streaming: unknown message type %q", e.Type)
+	}
+	if !ok {
+		return fmt.Errorf("streaming: message type %q without payload", e.Type)
+	}
+	return nil
+}

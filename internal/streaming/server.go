@@ -1,0 +1,311 @@
+package streaming
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"cocg/internal/core"
+	"cocg/internal/gamesim"
+	"cocg/internal/platform"
+	"cocg/internal/simclock"
+)
+
+// ServerConfig shapes a streaming front end.
+type ServerConfig struct {
+	// System is the trained CoCG deployment serving the games.
+	System *core.System
+	// Policy selects the co-location scheme; defaults to CoCG.
+	Policy core.PolicyKind
+	// Servers is the number of backend game servers; <=0 means 2.
+	Servers int
+	// TickEvery is the real duration of one virtual second; <=0 means
+	// 10 ms (a 100x-speed simulation — tests and demos don't wait).
+	TickEvery time.Duration
+	// Encoder models the video encoder; the zero value uses defaults.
+	Encoder Encoder
+	// SessionSeed seeds arriving sessions.
+	SessionSeed int64
+}
+
+// Server is the cloud end of Fig. 1: it hosts game sessions on a scheduled
+// cluster and streams encoded frames to connected clients.
+type Server struct {
+	cfg     ServerConfig
+	cluster *platform.Cluster
+	ln      net.Listener
+
+	mu       sync.Mutex
+	sessions map[int64]*liveSession
+	nextID   int64
+	nextSeed int64
+	closed   bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// liveSession ties a hosted game to its client connection.
+type liveSession struct {
+	id     int64
+	conn   *Conn
+	hosted *platform.Hosted
+	seq    int64
+
+	inMu     sync.Mutex
+	inSeq    int64
+	inSentAt int64
+
+	out  chan Envelope // frame batches and the final end message
+	ends sync.Once
+}
+
+// Serve starts a streaming server listening on addr (e.g. "127.0.0.1:0").
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.System == nil {
+		return nil, errors.New("streaming: ServerConfig.System is required")
+	}
+	if cfg.Servers <= 0 {
+		cfg.Servers = 2
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 10 * time.Millisecond
+	}
+	if cfg.Encoder == (Encoder{}) {
+		cfg.Encoder = DefaultEncoder()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		cluster:  cfg.System.NewCluster(cfg.Servers, cfg.Policy),
+		ln:       ln,
+		sessions: map[int64]*liveSession{},
+		nextSeed: cfg.SessionSeed,
+		done:     make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.tickLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and disconnects all clients.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	err := s.ln.Close()
+	s.mu.Lock()
+	for _, ls := range s.sessions {
+		ls.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// acceptLoop admits client connections.
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(NewConn(c))
+		}()
+	}
+}
+
+// handle runs one client connection: admission, then the input-reading loop
+// (frame delivery happens from the session's out channel).
+func (s *Server) handle(conn *Conn) {
+	defer conn.Close()
+	env, err := conn.Recv()
+	if err != nil || env.Type != MsgHello {
+		return
+	}
+	hello := env.Hello
+	spec, err := gamesim.GameByName(hello.Game)
+	if err != nil {
+		conn.Send(&Envelope{Type: MsgReject, Reject: &Reject{Reason: err.Error()}})
+		return
+	}
+	if hello.Script < 0 || hello.Script >= len(spec.Scripts) {
+		conn.Send(&Envelope{Type: MsgReject, Reject: &Reject{Reason: "no such script"}})
+		return
+	}
+	ls, reason := s.place(conn, spec, hello)
+	if ls == nil {
+		conn.Send(&Envelope{Type: MsgReject, Reject: &Reject{Reason: reason}})
+		return
+	}
+	// Writer: deliver frame batches until the session ends.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for e := range ls.out {
+			e := e
+			if conn.Send(&e) != nil {
+				return
+			}
+			if e.Type == MsgEnd {
+				return
+			}
+		}
+	}()
+	// Reader: consume input batches for RTT echoing.
+	for {
+		env, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		if env.Type == MsgInput {
+			ls.inMu.Lock()
+			ls.inSeq = env.Input.Seq
+			ls.inSentAt = env.Input.SentAtMS
+			ls.inMu.Unlock()
+		}
+	}
+	<-writerDone
+	s.mu.Lock()
+	delete(s.sessions, ls.id)
+	s.mu.Unlock()
+}
+
+// place runs the distributor for an arriving client and hosts the session.
+func (s *Server) place(conn *Conn, spec *gamesim.GameSpec, hello *Hello) (*liveSession, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, "server shutting down"
+	}
+	habit := hello.Habit
+	if habit == 0 {
+		if pool := s.cfg.System.HabitPools()[spec.Name]; len(pool) > 0 {
+			habit = pool[int(s.nextID)%len(pool)]
+		} else {
+			habit = s.nextSeed + 991
+		}
+	}
+	policy := s.cluster.Policy
+	for _, srv := range s.cluster.Servers {
+		if !policy.Admit(srv, spec, habit) {
+			continue
+		}
+		s.nextSeed++
+		sess, err := gamesim.NewPlayerSession(spec, hello.Script, habit, s.nextSeed)
+		if err != nil {
+			return nil, err.Error()
+		}
+		ctl, err := policy.NewController(spec, habit)
+		if err != nil {
+			return nil, err.Error()
+		}
+		hosted := srv.Add(spec, sess, ctl)
+		s.cluster.Placements++
+		s.nextID++
+		ls := &liveSession{
+			id:     s.nextID,
+			conn:   conn,
+			hosted: hosted,
+			out:    make(chan Envelope, 64),
+		}
+		s.sessions[ls.id] = ls
+		conn.Send(&Envelope{Type: MsgAccept, Accept: &Accept{
+			SessionID: ls.id, Server: srv.ID, Game: spec.Name,
+		}})
+		return ls, ""
+	}
+	return nil, "no server can host this game right now"
+}
+
+// tickLoop advances the cluster one virtual second per TickEvery and emits
+// frame batches to every live session.
+func (s *Server) tickLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.TickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.tickOnce()
+		}
+	}
+}
+
+func (s *Server) tickOnce() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cluster.Tick()
+	for _, ls := range s.sessions {
+		sess := ls.hosted.Session
+		if sess.Done() {
+			ls.ends.Do(func() {
+				ls.out <- Envelope{Type: MsgEnd, End: &SessionStat{
+					SessionID:   ls.id,
+					DurationSec: int64(sess.Elapsed()),
+					AvgFPS:      sess.AvgFPS(),
+					FPSRatio:    sess.FPSRatio(),
+					Degraded:    sess.DegradedFraction(),
+				}}
+				close(ls.out)
+			})
+			continue
+		}
+		if !simclock.IsFrameBoundary(s.cluster.Clock.Now()) {
+			continue // stream one batch per detection frame
+		}
+		ls.seq++
+		loading := sess.Phase() == gamesim.PhaseLoading
+		fps := sess.LastFPS()
+		ls.inMu.Lock()
+		echoSeq, echoAt := ls.inSeq, ls.inSentAt
+		ls.inMu.Unlock()
+		batch := Envelope{Type: MsgFrames, Frames: &FrameBatch{
+			SessionID:    ls.id,
+			Seq:          ls.seq,
+			FPS:          fps,
+			BitrateKbps:  s.cfg.Encoder.Encode(fps, ls.hosted.Granted, loading),
+			Stage:        sess.StageType(),
+			Loading:      loading,
+			EchoSeq:      echoSeq,
+			EchoSentAtMS: echoAt,
+		}}
+		select {
+		case ls.out <- batch:
+		default: // client too slow: drop the batch, like a real stream
+		}
+	}
+}
+
+// Sessions returns the number of currently connected sessions.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// String describes the server.
+func (s *Server) String() string {
+	return fmt.Sprintf("streaming server on %s (%d backends, policy %v)",
+		s.Addr(), s.cfg.Servers, s.cfg.Policy)
+}

@@ -1,0 +1,106 @@
+// Package telemetry is the measurement substrate standing in for the paper's
+// GPU-Z + cgroup collection pipeline (Section V-A): it aggregates per-second
+// utilization observations into the 5-second frames the predictor consumes,
+// adding sensor noise, and keeps a bounded history of recent frames.
+package telemetry
+
+import (
+	"math/rand"
+
+	"cocg/internal/resources"
+	"cocg/internal/simclock"
+)
+
+// Sampler folds per-second observations into frames of simclock.FrameLen
+// seconds. Each observation may be perturbed by Gaussian sensor noise, as
+// real utilization counters are.
+type Sampler struct {
+	noise float64
+	rng   *rand.Rand
+	buf   []resources.Vector
+}
+
+// NewSampler returns a sampler with the given per-second sensor-noise
+// standard deviation (in percent points).
+func NewSampler(noiseStd float64, seed int64) *Sampler {
+	return &Sampler{noise: noiseStd, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Observe records one second of utilization. When the observation completes
+// a frame, the frame's mean vector is returned with ok = true.
+func (s *Sampler) Observe(v resources.Vector) (frame resources.Vector, ok bool) {
+	if s.noise > 0 {
+		for d := range v {
+			v[d] += s.rng.NormFloat64() * s.noise
+		}
+		v = v.Clamp(0, 100)
+	}
+	s.buf = append(s.buf, v)
+	if len(s.buf) < int(simclock.FrameLen) {
+		return resources.Zero, false
+	}
+	frame = resources.Mean(s.buf)
+	s.buf = s.buf[:0]
+	return frame, true
+}
+
+// Pending returns how many seconds of the current frame have been observed.
+func (s *Sampler) Pending() int { return len(s.buf) }
+
+// Reset discards any partial frame.
+func (s *Sampler) Reset() { s.buf = s.buf[:0] }
+
+// History is a bounded ring buffer of the most recent frames.
+type History struct {
+	frames []resources.Vector
+	cap    int
+	total  int
+}
+
+// NewHistory returns a history retaining up to capacity frames; capacity
+// must be positive.
+func NewHistory(capacity int) *History {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &History{cap: capacity}
+}
+
+// Push appends a frame, evicting the oldest when full.
+func (h *History) Push(v resources.Vector) {
+	h.total++
+	if len(h.frames) < h.cap {
+		h.frames = append(h.frames, v)
+		return
+	}
+	copy(h.frames, h.frames[1:])
+	h.frames[len(h.frames)-1] = v
+}
+
+// Len returns how many frames are currently retained.
+func (h *History) Len() int { return len(h.frames) }
+
+// Total returns how many frames were ever pushed.
+func (h *History) Total() int { return h.total }
+
+// Last returns the i-th most recent frame (0 = newest). The second return is
+// false when fewer than i+1 frames are retained.
+func (h *History) Last(i int) (resources.Vector, bool) {
+	if i < 0 || i >= len(h.frames) {
+		return resources.Zero, false
+	}
+	return h.frames[len(h.frames)-1-i], true
+}
+
+// Snapshot returns the retained frames oldest-first; the slice is a copy.
+func (h *History) Snapshot() []resources.Vector {
+	out := make([]resources.Vector, len(h.frames))
+	copy(out, h.frames)
+	return out
+}
+
+// Mean returns the mean of the retained frames.
+func (h *History) Mean() resources.Vector { return resources.Mean(h.frames) }
+
+// Peak returns the component-wise maximum of the retained frames.
+func (h *History) Peak() resources.Vector { return resources.PeakOf(h.frames) }

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"testing"
+
+	"cocg/internal/gamesim"
+	"cocg/internal/platform"
+	"cocg/internal/resources"
+)
+
+// nopPolicy admits nothing, so arrivals pile up in Pending.
+type nopPolicy struct{}
+
+func (nopPolicy) Name() string                                          { return "nop" }
+func (nopPolicy) Admit(*platform.Server, *gamesim.GameSpec, int64) bool { return false }
+func (nopPolicy) NewController(*gamesim.GameSpec, int64) (platform.Controller, error) {
+	return nil, nil
+}
+func (nopPolicy) Regulate(*platform.Server) {}
+
+func TestGeneratorUsesHabitPool(t *testing.T) {
+	spec := gamesim.GenshinImpact()
+	pool := []int64{11, 22, 33}
+	g := NewGenerator(map[string][]int64{spec.Name: pool}, 1)
+	seen := map[int64]bool{}
+	for i := 0; i < 50; i++ {
+		a := g.Next(spec)
+		found := false
+		for _, h := range pool {
+			if a.Habit == h {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("habit %d not from pool", a.Habit)
+		}
+		seen[a.Habit] = true
+		// Mobile: the script is the habit's routine.
+		if a.Script != int(uint64(a.Habit)%3) {
+			t.Fatalf("mobile script %d does not match habit %d", a.Script, a.Habit)
+		}
+	}
+	if len(seen) < 2 {
+		t.Error("generator never varied habits")
+	}
+}
+
+func TestGeneratorFreshHabitsWithoutPool(t *testing.T) {
+	g := NewGenerator(nil, 2)
+	a := g.Next(gamesim.Contra())
+	b := g.Next(gamesim.Contra())
+	if a.Habit == b.Habit {
+		t.Error("fresh habits identical")
+	}
+	if a.SessionSeed == b.SessionSeed {
+		t.Error("session seeds identical")
+	}
+	if a.Script < 0 || a.Script >= len(gamesim.Contra().Scripts) {
+		t.Errorf("script %d out of range", a.Script)
+	}
+}
+
+func TestPairStreamKeepsBacklog(t *testing.T) {
+	c := platform.NewCluster(1, nopPolicy{})
+	gen := NewGenerator(nil, 3)
+	s := &PairStream{Gen: gen, A: gamesim.CSGO(), B: gamesim.Contra(), Backlog: 2}
+	s.Feed(c)
+	if len(c.Pending) != 4 {
+		t.Fatalf("pending = %d, want 4", len(c.Pending))
+	}
+	// Feeding again adds nothing: the backlog is already full.
+	s.Feed(c)
+	if len(c.Pending) != 4 {
+		t.Errorf("pending after refeed = %d", len(c.Pending))
+	}
+	counts := map[string]int{}
+	for _, a := range c.Pending {
+		counts[a.Spec.Name]++
+	}
+	if counts["CSGO"] != 2 || counts["Contra"] != 2 {
+		t.Errorf("backlog mix = %v", counts)
+	}
+}
+
+func TestPairStreamDefaultBacklog(t *testing.T) {
+	c := platform.NewCluster(1, nopPolicy{})
+	s := &PairStream{Gen: NewGenerator(nil, 4), A: gamesim.Contra(), B: gamesim.Contra()}
+	s.Feed(c)
+	if s.Backlog != 1 {
+		t.Errorf("default backlog = %d", s.Backlog)
+	}
+}
+
+func TestMixStreamRate(t *testing.T) {
+	c := platform.NewCluster(1, nopPolicy{})
+	gen := NewGenerator(nil, 5)
+	m := NewMixStream(gen, []*gamesim.GameSpec{gamesim.Contra(), gamesim.CSGO()}, 0.5, 6)
+	for i := 0; i < 1000; i++ {
+		m.Feed(c)
+	}
+	n := len(c.Pending)
+	if n < 350 || n > 650 {
+		t.Errorf("0.5/s for 1000s produced %d arrivals", n)
+	}
+}
+
+func TestMixStreamEmptyMix(t *testing.T) {
+	c := platform.NewCluster(1, nopPolicy{})
+	m := NewMixStream(NewGenerator(nil, 7), nil, 1, 8)
+	m.Feed(c)
+	if len(c.Pending) != 0 {
+		t.Error("empty mix produced arrivals")
+	}
+}
+
+func TestArrivalsAreRunnable(t *testing.T) {
+	g := NewGenerator(nil, 9)
+	for _, spec := range gamesim.AllGames() {
+		a := g.Next(spec)
+		sess, err := gamesim.NewPlayerSession(a.Spec, a.Script, a.Habit, a.SessionSeed)
+		if err != nil {
+			t.Fatalf("%s arrival not runnable: %v", spec.Name, err)
+		}
+		for i := 0; i < 10; i++ {
+			sess.Step(resources.FullServer)
+		}
+	}
+}
