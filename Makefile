@@ -1,0 +1,30 @@
+# Developer entry points. The repo is plain `go build ./...`-able; these
+# targets just bundle the checks CI and reviewers expect.
+
+GO ?= go
+
+.PHONY: all build test race fmt bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race is the concurrency gate: formatting must be clean, vet must pass, and
+# the full suite (including the worker-count-invariance and harness
+# determinism tests) must pass under the race detector.
+race: fmt
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# fmt fails (listing the offenders) when any file is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -8,10 +8,16 @@ package cocg_test
 // scale.
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
+	"cocg/internal/cluster"
 	"cocg/internal/experiments"
+	"cocg/internal/mlmodels"
+	"cocg/internal/parallel"
+	"cocg/internal/resources"
 )
 
 var (
@@ -275,3 +281,131 @@ func BenchmarkPairMatrix(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel-vs-serial benchmarks ---
+//
+// Each pair below runs the same workload with Workers/Jobs pinned to 1 and
+// then unpinned (0 = GOMAXPROCS), so `go test -bench 'Workers|Jobs'` shows
+// the speedup the internal/parallel pool buys on the current machine. On a
+// single-core box the two legs coincide; the determinism tests guarantee the
+// outputs match regardless.
+
+// benchPoints synthesizes a frame cloud large enough that the chunked
+// K-means passes dominate.
+func benchPoints(n int) []resources.Vector {
+	r := rand.New(rand.NewSource(42))
+	out := make([]resources.Vector, n)
+	centers := []resources.Vector{
+		resources.New(12, 8, 6, 25),
+		resources.New(45, 55, 38, 52),
+		resources.New(85, 88, 74, 79),
+	}
+	for i := range out {
+		c := centers[i%len(centers)]
+		var v resources.Vector
+		for d := range v {
+			v[d] = c[d] + r.NormFloat64()*4
+		}
+		out[i] = v.Clamp(0, 100)
+	}
+	return out
+}
+
+func benchKMeans(b *testing.B, workers int) {
+	pts := benchPoints(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(pts, cluster.Config{K: 6, Seed: 7, Workers: workers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeansWorkers1(b *testing.B)   { benchKMeans(b, 1) }
+func BenchmarkKMeansWorkersMax(b *testing.B) { benchKMeans(b, 0) }
+
+// benchTrainingSet synthesizes a multiclass dataset with learnable structure
+// (the label tracks a noisy linear score over the features).
+func benchTrainingSet(b *testing.B, n int) *mlmodels.Dataset {
+	b.Helper()
+	r := rand.New(rand.NewSource(9))
+	samples := make([]mlmodels.Sample, n)
+	for i := range samples {
+		f := make([]float64, 8)
+		score := 0.0
+		for d := range f {
+			f[d] = r.Float64()
+			score += f[d] * float64(d%3)
+		}
+		samples[i] = mlmodels.Sample{Features: f, Label: int(score+r.Float64()) % 5}
+	}
+	ds, err := mlmodels.NewDataset(samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func benchForest(b *testing.B, workers int) {
+	ds := benchTrainingSet(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := mlmodels.NewRandomForest(mlmodels.ForestConfig{NumTrees: 40, Seed: 3, Workers: workers})
+		if err := f.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestTrainWorkers1(b *testing.B)   { benchForest(b, 1) }
+func BenchmarkForestTrainWorkersMax(b *testing.B) { benchForest(b, 0) }
+
+func benchGBDT(b *testing.B, workers int) {
+	ds := benchTrainingSet(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := mlmodels.NewGBDT(mlmodels.GBDTConfig{NumRounds: 20, Seed: 3, Workers: workers})
+		if err := g.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGBDTTrainWorkers1(b *testing.B)   { benchGBDT(b, 1) }
+func BenchmarkGBDTTrainWorkersMax(b *testing.B) { benchGBDT(b, 0) }
+
+// benchHarness renders every figure and table as concurrent jobs over the
+// shared fast context — the cmd/cocg fan-out, minus printing.
+func benchHarness(b *testing.B, jobs int) {
+	ctx := ctxForBench(b)
+	runners := []func(*experiments.Context) (fmt.Stringer, error){
+		func(c *experiments.Context) (fmt.Stringer, error) { return experiments.TableI(c) },
+		func(c *experiments.Context) (fmt.Stringer, error) { return experiments.Fig2(c) },
+		func(c *experiments.Context) (fmt.Stringer, error) { return experiments.Fig5(c) },
+		func(c *experiments.Context) (fmt.Stringer, error) { return experiments.Fig6(c) },
+		func(c *experiments.Context) (fmt.Stringer, error) { return experiments.Fig9(c) },
+		func(c *experiments.Context) (fmt.Stringer, error) { return experiments.Fig10(c) },
+		func(c *experiments.Context) (fmt.Stringer, error) { return experiments.Fig11(c) },
+		func(c *experiments.Context) (fmt.Stringer, error) { return experiments.Fig12(c) },
+		func(c *experiments.Context) (fmt.Stringer, error) { return experiments.Fig13(c) },
+		func(c *experiments.Context) (fmt.Stringer, error) { return experiments.Fig14(c) },
+		func(c *experiments.Context) (fmt.Stringer, error) { return experiments.Fig15(c) },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := parallel.NewGroup(jobs)
+		for _, run := range runners {
+			run := run
+			g.Go(func() error {
+				_, err := run(ctx)
+				return err
+			})
+		}
+		if err := g.Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHarnessJobs1(b *testing.B)   { benchHarness(b, 1) }
+func BenchmarkHarnessJobsMax(b *testing.B) { benchHarness(b, 0) }

@@ -82,7 +82,7 @@ func main() {
 		for _, tr := range traces {
 			frames = append(frames, tr.FrameVectors()...)
 		}
-		curve, err := cluster.Sweep(frames, 8, *seed)
+		curve, err := cluster.Sweep(frames, 8, *seed, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -75,8 +75,8 @@ func main() {
 		}
 		recs := c.Records()
 		type agg struct {
-			n               int
-			fps, p5, degr   float64
+			n             int
+			fps, p5, degr float64
 		}
 		byGame := map[string]*agg{}
 		for _, r := range recs {

@@ -3,24 +3,35 @@
 //
 // Usage:
 //
-//	cocg [-seed N] [-fast] [experiment ...]
+//	cocg [-seed N] [-fast] [-jobs N] [experiment ...]
 //
 // With no arguments it runs every experiment. Experiment names: table1,
-// fig2, fig5, fig6, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
-// ablation-category, ablation-redundancy, ablation-steal, ablation-interval,
-// ablation-clustering.
+// fig2, fig5, fig6, fig9, fig10, fig11, fig12, fig13, fig14, fig15, pairs,
+// scaleout, online, ablation-category, ablation-redundancy, ablation-steal,
+// ablation-interval, ablation-placement, ablation-clustering.
+//
+// Experiments are independent jobs: -jobs N runs up to N of them
+// concurrently (and bounds the worker pool inside training and clustering).
+// Results stream in the fixed presentation order regardless of completion
+// order, and every experiment derives its randomness from -seed alone, so
+// the output is identical at -jobs 1 and -jobs 64. The default comes from
+// the COCG_JOBS environment variable when set, else the CPU count; the
+// explicit flag beats the environment.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"cocg/internal/experiments"
 	"cocg/internal/export"
+	"cocg/internal/parallel"
 )
 
 type runner func(*experiments.Context) (fmt.Stringer, error)
@@ -78,12 +89,27 @@ var order = []string{
 	"ablation-interval", "ablation-placement", "ablation-clustering",
 }
 
+// defaultJobs resolves the -jobs default: the COCG_JOBS environment
+// variable when it parses as a positive integer, else the CPU count. An
+// explicit -jobs flag overrides both.
+func defaultJobs() int {
+	if s := os.Getenv("COCG_JOBS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+		fmt.Fprintf(os.Stderr, "cocg: ignoring invalid COCG_JOBS=%q\n", s)
+	}
+	return runtime.NumCPU()
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "random seed for the whole run")
 	fast := flag.Bool("fast", false, "shrink corpora and durations for a quick smoke run")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	csvDir := flag.String("csv", "", "also dump figure series as CSV files into this directory")
 	charts := flag.Bool("charts", true, "render ASCII charts for figure series")
+	jobs := flag.Int("jobs", defaultJobs(),
+		"max concurrent experiment jobs and training workers; results do not depend on it (flag beats COCG_JOBS env, which beats the CPU-count default)")
 	flag.Parse()
 
 	if *list {
@@ -108,24 +134,52 @@ func main() {
 	}
 
 	start := time.Now()
-	fmt.Printf("CoCG experiment driver (seed=%d fast=%v)\n", *seed, *fast)
+	fmt.Printf("CoCG experiment driver (seed=%d fast=%v jobs=%d)\n", *seed, *fast, parallel.Workers(*jobs))
 	fmt.Println("training the five-game system (offline pass)...")
-	ctx, err := experiments.NewContext(experiments.Options{Seed: *seed, Fast: *fast})
+	ctx, err := experiments.NewContext(experiments.Options{Seed: *seed, Fast: *fast, Jobs: *jobs})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cocg: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("trained in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	for _, t := range targets {
-		t0 := time.Now()
-		res, err := registry[t](ctx)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cocg: %s: %v\n", t, err)
+	// Experiments are independent jobs over the read-only context: run up
+	// to -jobs of them concurrently, but print strictly in presentation
+	// order so the output is byte-identical at every parallelism level
+	// (timing annotations aside).
+	type jobResult struct {
+		res  fmt.Stringer
+		err  error
+		took time.Duration
+		done chan struct{}
+	}
+	results := make([]*jobResult, len(targets))
+	for i := range results {
+		results[i] = &jobResult{done: make(chan struct{})}
+	}
+	g := parallel.NewGroup(*jobs)
+	go func() {
+		for i, t := range targets {
+			i, t := i, t
+			g.Go(func() error {
+				t0 := time.Now()
+				jr := results[i]
+				jr.res, jr.err = registry[t](ctx)
+				jr.took = time.Since(t0)
+				close(jr.done)
+				return jr.err
+			})
+		}
+	}()
+	for i, t := range targets {
+		jr := results[i]
+		<-jr.done
+		if jr.err != nil {
+			fmt.Fprintf(os.Stderr, "cocg: %s: %v\n", t, jr.err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s (%v) ===\n%s\n", t, time.Since(t0).Round(time.Millisecond), res)
-		emitSeries(res, *charts, *csvDir)
+		fmt.Printf("=== %s (%v) ===\n%s\n", t, jr.took.Round(time.Millisecond), jr.res)
+		emitSeries(jr.res, *charts, *csvDir)
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -73,7 +73,7 @@ func GraphPartition(points []resources.Vector) (*Result, error) {
 		centroids[c] = sums[c].Scale(1 / float64(counts[c]))
 	}
 	res := &Result{Centroids: centroids, Assign: assign, Iterations: 1}
-	res.SSE = sse(points, centroids, assign)
+	res.SSE = sse(points, centroids, assign, 1)
 	sortCentroids(res)
 	return res, nil
 }

@@ -1,6 +1,14 @@
 // Package cluster implements the frame-clustering algorithms of Section IV-A2
 // and the K-sweep of Fig. 14: K-means with k-means++ seeding (the method the
 // paper adopts) and a graph-partitioning baseline it compares against.
+//
+// Concurrency: KMeans parallelizes the Lloyd assignment step, the centroid
+// update, and the SSE reduction across fixed-size frame chunks
+// (Config.Workers), and Sweep runs its per-K clusterings concurrently.
+// Decomposition and merge order are independent of the worker count, so a
+// run with Workers=1 and Workers=64 produces bit-identical results for the
+// same seed. The k-means++ seeding pass and the restart loop stay serial:
+// they consume one RNG stream whose draw order defines the result.
 package cluster
 
 import (
@@ -10,6 +18,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"cocg/internal/parallel"
 	"cocg/internal/resources"
 )
 
@@ -61,6 +70,9 @@ type Config struct {
 	MaxIter  int   // Lloyd iteration cap; defaults to 100
 	Seed     int64 // RNG seed for k-means++ seeding
 	Restarts int   // independent restarts, best SSE wins; defaults to 4
+	// Workers bounds the goroutines used for the assignment/update/SSE
+	// steps; <= 0 means GOMAXPROCS. Results do not depend on it.
+	Workers int
 }
 
 func (c *Config) withDefaults() Config {
@@ -91,7 +103,7 @@ func KMeans(points []resources.Vector, cfg Config) (*Result, error) {
 	rng := rand.New(rand.NewSource(c.Seed))
 	var best *Result
 	for r := 0; r < c.Restarts; r++ {
-		res := lloyd(points, k, c.MaxIter, rng)
+		res := lloyd(points, k, c.MaxIter, c.Workers, rng)
 		if best == nil || res.SSE < best.SSE {
 			best = res
 		}
@@ -100,39 +112,75 @@ func KMeans(points []resources.Vector, cfg Config) (*Result, error) {
 	return best, nil
 }
 
-// lloyd runs one k-means++ initialization followed by Lloyd iterations.
-func lloyd(points []resources.Vector, k, maxIter int, rng *rand.Rand) *Result {
+// lloyd runs one k-means++ initialization followed by Lloyd iterations. The
+// assignment and centroid-update steps fan out over fixed-size point chunks;
+// per-chunk partial sums are merged in chunk order, so the floating-point
+// result is identical at every worker count.
+func lloyd(points []resources.Vector, k, maxIter, workers int, rng *rand.Rand) *Result {
 	centroids := seedPlusPlus(points, k, rng)
 	assign := make([]int, len(points))
 	for i := range assign {
 		assign[i] = -1
 	}
+	nChunks := parallel.NumChunks(len(points))
+	chunkChanged := make([]bool, nChunks)
+	chunkSums := make([][]resources.Vector, nChunks)
+	chunkCounts := make([][]int, nChunks)
 	var iterations int
 	for iter := 0; iter < maxIter; iter++ {
 		iterations = iter + 1
-		changed := false
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c, cent := range centroids {
-				if d := p.Dist2(cent); d < bestD {
-					best, bestD = c, d
+		parallel.ForChunks(workers, len(points), func(chunk, lo, hi int) {
+			changed := false
+			for i := lo; i < hi; i++ {
+				p := points[i]
+				best, bestD := 0, math.Inf(1)
+				for c, cent := range centroids {
+					if d := p.Dist2(cent); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				if assign[i] != best {
+					assign[i] = best
+					changed = true
 				}
 			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
+			chunkChanged[chunk] = changed
+		})
+		changed := false
+		for _, c := range chunkChanged {
+			changed = changed || c
 		}
 		if !changed {
 			break
 		}
 		// Recompute centroids; an emptied cluster keeps its old center,
 		// which is the standard fix and keeps K stable.
+		parallel.ForChunks(workers, len(points), func(chunk, lo, hi int) {
+			sums := chunkSums[chunk]
+			counts := chunkCounts[chunk]
+			if sums == nil {
+				sums = make([]resources.Vector, k)
+				counts = make([]int, k)
+				chunkSums[chunk] = sums
+				chunkCounts[chunk] = counts
+			} else {
+				for c := range sums {
+					sums[c] = resources.Vector{}
+					counts[c] = 0
+				}
+			}
+			for i := lo; i < hi; i++ {
+				sums[assign[i]] = sums[assign[i]].Add(points[i])
+				counts[assign[i]]++
+			}
+		})
 		sums := make([]resources.Vector, k)
 		counts := make([]int, k)
-		for i, p := range points {
-			sums[assign[i]] = sums[assign[i]].Add(p)
-			counts[assign[i]]++
+		for chunk := 0; chunk < nChunks; chunk++ {
+			for c := 0; c < k; c++ {
+				sums[c] = sums[c].Add(chunkSums[chunk][c])
+				counts[c] += chunkCounts[chunk][c]
+			}
 		}
 		for c := range centroids {
 			if counts[c] > 0 {
@@ -141,7 +189,7 @@ func lloyd(points []resources.Vector, k, maxIter int, rng *rand.Rand) *Result {
 		}
 	}
 	res := &Result{Centroids: centroids, Assign: assign, Iterations: iterations}
-	res.SSE = sse(points, centroids, assign)
+	res.SSE = sse(points, centroids, assign, workers)
 	return res
 }
 
@@ -180,10 +228,20 @@ func seedPlusPlus(points []resources.Vector, k int, rng *rand.Rand) []resources.
 	return centroids
 }
 
-func sse(points, centroids []resources.Vector, assign []int) float64 {
+// sse reduces the sum of squared distances over fixed-size chunks, merging
+// partials in chunk order so the result is worker-count independent.
+func sse(points, centroids []resources.Vector, assign []int, workers int) float64 {
+	partial := make([]float64, parallel.NumChunks(len(points)))
+	parallel.ForChunks(workers, len(points), func(chunk, lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += points[i].Dist2(centroids[assign[i]])
+		}
+		partial[chunk] = s
+	})
 	var s float64
-	for i, p := range points {
-		s += p.Dist2(centroids[assign[i]])
+	for _, p := range partial {
+		s += p
 	}
 	return s
 }
@@ -222,18 +280,30 @@ type SweepPoint struct {
 }
 
 // Sweep runs K-means for every K in [1, maxK] and returns the SSE curve of
-// Fig. 14. The same seed is reused so curves are reproducible.
-func Sweep(points []resources.Vector, maxK int, seed int64) ([]SweepPoint, error) {
+// Fig. 14. The same seed is reused so curves are reproducible. The per-K
+// runs are independent (each seeds its own RNG), so they execute
+// concurrently on up to workers goroutines; <= 0 means GOMAXPROCS.
+func Sweep(points []resources.Vector, maxK int, seed int64, workers int) ([]SweepPoint, error) {
 	if len(points) == 0 {
 		return nil, ErrNoPoints
 	}
-	out := make([]SweepPoint, 0, maxK)
-	for k := 1; k <= maxK; k++ {
-		res, err := KMeans(points, Config{K: k, Seed: seed})
+	out := make([]SweepPoint, maxK)
+	errs := make([]error, maxK)
+	parallel.For(workers, maxK, func(i int) {
+		k := i + 1
+		// The sweep itself is the fan-out axis; each inner run stays
+		// single-threaded so nesting cannot oversubscribe the machine.
+		res, err := KMeans(points, Config{K: k, Seed: seed, Workers: 1})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = SweepPoint{K: k, SSE: res.SSE}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, SweepPoint{K: k, SSE: res.SSE})
 	}
 	return out, nil
 }

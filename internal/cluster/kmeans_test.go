@@ -111,7 +111,7 @@ func TestNearest(t *testing.T) {
 
 func TestSweepMonotonicSSE(t *testing.T) {
 	pts := threeBlobs(5)
-	curve, err := Sweep(pts, 8, 11)
+	curve, err := Sweep(pts, 8, 11, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestSweepMonotonicSSE(t *testing.T) {
 
 func TestElbowFindsTrueK(t *testing.T) {
 	pts := threeBlobs(6)
-	curve, err := Sweep(pts, 8, 3)
+	curve, err := Sweep(pts, 8, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,5 +240,54 @@ func TestPropertyEachPointNearestOwnCentroid(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestKMeansWorkerCountInvariant(t *testing.T) {
+	// The parallel decomposition must not leak into results: any worker
+	// count produces bit-identical centroids, assignments, and SSE.
+	pts := threeBlobs(8)
+	ref, err := KMeans(pts, Config{K: 3, Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := KMeans(pts, Config{K: 3, Seed: 9, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.SSE != ref.SSE {
+			t.Errorf("workers=%d: SSE %v != serial %v", workers, got.SSE, ref.SSE)
+		}
+		if got.Iterations != ref.Iterations {
+			t.Errorf("workers=%d: iterations %d != serial %d", workers, got.Iterations, ref.Iterations)
+		}
+		for i := range ref.Assign {
+			if got.Assign[i] != ref.Assign[i] {
+				t.Fatalf("workers=%d: assignment diverged at point %d", workers, i)
+			}
+		}
+		for c := range ref.Centroids {
+			if got.Centroids[c] != ref.Centroids[c] {
+				t.Fatalf("workers=%d: centroid %d = %v, serial %v", workers, c, got.Centroids[c], ref.Centroids[c])
+			}
+		}
+	}
+}
+
+func TestSweepWorkerCountInvariant(t *testing.T) {
+	pts := threeBlobs(9)
+	ref, err := Sweep(pts, 6, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Sweep(pts, 6, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Errorf("sweep point %d: %v != %v", i, got[i], ref[i])
+		}
 	}
 }

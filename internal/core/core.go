@@ -11,6 +11,7 @@ import (
 
 	"cocg/internal/baselines"
 	"cocg/internal/gamesim"
+	"cocg/internal/parallel"
 	"cocg/internal/platform"
 	"cocg/internal/predictor"
 	"cocg/internal/profiler"
@@ -62,6 +63,10 @@ type TrainOptions struct {
 	ForceGlobal bool
 	// SchedulerConfig tunes the CoCG policy built from this system.
 	SchedulerConfig scheduler.Config
+	// Workers bounds the total goroutines the offline pass may use across
+	// per-game training, clustering, and model fitting; <= 0 means
+	// GOMAXPROCS. The trained system does not depend on it.
+	Workers int
 }
 
 // System is a fully trained CoCG deployment for a set of games.
@@ -71,42 +76,42 @@ type System struct {
 }
 
 // Train runs the complete offline pipeline for every game. Games are
-// independent, so they train in parallel; results are deterministic because
-// each game's corpus and models derive only from the shared seed.
+// independent, so they train in parallel under a bounded worker group;
+// results are deterministic because each game's corpus and models derive
+// only from the shared seed, never from the worker count.
 func Train(specs []*gamesim.GameSpec, opts TrainOptions) (*System, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("core: no games to train")
 	}
 	s := &System{Bundles: map[string]*predictor.Trained{}, opts: opts}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
+	// The per-game fan-out and the within-game fan-out (clustering, RF
+	// trees, habit models) share one budget: each game's inner pass gets
+	// the whole budget only when games cannot saturate it themselves.
+	workers := parallel.Workers(opts.Workers)
+	inner := (workers + len(specs) - 1) / len(specs)
+	var mu sync.Mutex
+	g := parallel.NewGroup(workers)
 	for _, spec := range specs {
-		wg.Add(1)
-		go func(spec *gamesim.GameSpec) {
-			defer wg.Done()
+		spec := spec
+		g.Go(func() error {
 			b, err := predictor.TrainForGame(spec, predictor.TrainConfig{
 				Players:           opts.Players,
 				SessionsPerPlayer: opts.SessionsPerPlayer,
 				Seed:              opts.Seed,
 				ForceGlobal:       opts.ForceGlobal,
+				Workers:           inner,
 			})
-			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("core: training %s: %w", spec.Name, err)
-				}
-				return
+				return fmt.Errorf("core: training %s: %w", spec.Name, err)
 			}
+			mu.Lock()
 			s.Bundles[spec.Name] = b
-		}(spec)
+			mu.Unlock()
+			return nil
+		})
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

@@ -118,7 +118,7 @@ func Fig14(ctx *Context) (*Fig14Result, error) {
 		for _, tr := range b.Corpus {
 			frames = append(frames, tr.FrameVectors()...)
 		}
-		curve, err := cluster.Sweep(frames, 8, ctx.Opt.Seed)
+		curve, err := cluster.Sweep(frames, 8, ctx.Opt.Seed, ctx.workers())
 		if err != nil {
 			return nil, err
 		}

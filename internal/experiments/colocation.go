@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"cocg/internal/core"
@@ -203,9 +204,14 @@ func (r *Fig11Result) String() string {
 	t := &table{header: []string{"Pair", "Policy", "throughput", "completions", "perf-loss (s)", "degraded"}}
 	for _, p := range r.Pairs {
 		for _, c := range p.Cells {
-			var comp []string
-			for g, n := range c.Completed {
-				comp = append(comp, fmt.Sprintf("%s:%d", shortName(g), n))
+			games := make([]string, 0, len(c.Completed))
+			for g := range c.Completed {
+				games = append(games, g)
+			}
+			sort.Strings(games)
+			comp := make([]string, 0, len(games))
+			for _, g := range games {
+				comp = append(comp, fmt.Sprintf("%s:%d", shortName(g), c.Completed[g]))
 			}
 			t.add(fmt.Sprintf("%s + %s", shortName(p.A), shortName(p.B)),
 				c.Policy, fmt.Sprintf("%.0f", c.Throughput),

@@ -2,6 +2,15 @@
 // evaluation (Section V) on the simulated platform. Each experiment returns
 // a structured result whose String method renders the same rows or series
 // the paper reports; EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Concurrency contract: every experiment treats the shared Context (and the
+// trained System inside it) as read-only, so independent experiments may run
+// concurrently over one Context — cmd/cocg does exactly that behind its
+// -jobs flag. Experiments that need mutable training state (OnlineLearning)
+// clone the bundle they touch first. Each experiment derives all of its
+// randomness from Options.Seed plus experiment-specific offsets, never from
+// shared RNGs, so results are identical regardless of which experiments run,
+// in what order, or on how many goroutines.
 package experiments
 
 import (
@@ -20,6 +29,9 @@ type Options struct {
 	// Fast shrinks corpus sizes and durations for smoke tests and
 	// benchmarks; full runs reproduce the paper's two-hour windows.
 	Fast bool
+	// Jobs bounds the goroutines used for offline training and within
+	// experiments; <= 0 means GOMAXPROCS. Results do not depend on it.
+	Jobs int
 }
 
 // Context caches the expensive offline training pass across experiments.
@@ -38,12 +50,16 @@ func NewContext(opt Options) (*Context, error) {
 		Players:           players,
 		SessionsPerPlayer: sessions,
 		Seed:              opt.Seed + 31,
+		Workers:           opt.Jobs,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Context{Opt: opt, System: sys}, nil
 }
+
+// workers is the per-experiment goroutine budget.
+func (c *Context) workers() int { return c.Opt.Jobs }
 
 // horizon returns the co-location experiment duration: the paper's two
 // hours, or twenty minutes in fast mode.

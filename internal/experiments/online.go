@@ -33,7 +33,12 @@ type OnlineLearningResult struct {
 // under the online learner.
 func OnlineLearning(ctx *Context) (*OnlineLearningResult, error) {
 	spec := gamesim.GenshinImpact()
-	b, _ := ctx.System.Bundle(spec.Name)
+	shared, _ := ctx.System.Bundle(spec.Name)
+	// The learner adds dedicated models to the bundle as the player
+	// graduates; work on a clone so the shared system stays immutable and
+	// this experiment can run concurrently with (and independently of) the
+	// others.
+	b := shared.Clone()
 	learner := predictor.NewOnlineLearner(b, 8, ctx.Opt.Seed+81)
 	habit := ctx.Opt.Seed + 987_654_321 // unseen player
 	script := int(uint64(habit) % uint64(len(spec.Scripts)))

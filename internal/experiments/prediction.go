@@ -7,6 +7,7 @@ import (
 	"cocg/internal/dataset"
 	"cocg/internal/gamesim"
 	"cocg/internal/mlmodels"
+	"cocg/internal/parallel"
 	"cocg/internal/predictor"
 )
 
@@ -30,8 +31,14 @@ type Fig15Result struct {
 // weighted by test size, matching how the paper trains "a training set for
 // each individual player".
 func Fig15(ctx *Context) (*Fig15Result, error) {
-	out := &Fig15Result{}
-	for _, game := range ctx.System.Games() {
+	games := ctx.System.Games()
+	rows := make([]Fig15Row, len(games))
+	errs := make([]error, len(games))
+	// Games evaluate independently, so they fan out; each game's group loop
+	// stays serial, keeping its accuracy accumulation order (and therefore
+	// the floating-point result) fixed at every worker count.
+	parallel.For(ctx.workers(), len(games), func(g int) {
+		game := games[g]
 		b, _ := ctx.System.Bundle(game)
 		strategy := dataset.StrategyFor(b.Spec.Category)
 		ex := &dataset.Extractor{P: b.Profile}
@@ -43,11 +50,11 @@ func Fig15(ctx *Context) (*Fig15Result, error) {
 		}
 		correct := map[string]float64{}
 		total := 0
-		for gi, g := range groups {
-			if len(g.Transitions) < minGroup(ctx) {
+		for gi, grp := range groups {
+			if len(grp.Transitions) < minGroup(ctx) {
 				continue
 			}
-			ds, err := dataset.ToDataset(g.Transitions, b.Profile.NumStageTypes())
+			ds, err := dataset.ToDataset(grp.Transitions, b.Profile.NumStageTypes())
 			if err != nil {
 				continue
 			}
@@ -57,12 +64,14 @@ func Fig15(ctx *Context) (*Fig15Result, error) {
 			}
 			models, err := predictor.TrainModels(train, ctx.Opt.Seed+int64(gi))
 			if err != nil {
-				return nil, err
+				errs[g] = err
+				return
 			}
 			for _, m := range models {
 				acc, err := mlmodels.Evaluate(m, test)
 				if err != nil {
-					return nil, err
+					errs[g] = err
+					return
 				}
 				correct[m.Name()] += acc * float64(test.Len())
 			}
@@ -74,9 +83,14 @@ func Fig15(ctx *Context) (*Fig15Result, error) {
 			}
 		}
 		row.Samples = total
-		out.Rows = append(out.Rows, row)
+		rows[g] = row
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	return out, nil
+	return &Fig15Result{Rows: rows}, nil
 }
 
 // String renders the accuracy table.

@@ -12,6 +12,13 @@
 //     clusters (Fig. 4),
 //   - stage order and duration depend on the player, with the strength of
 //     that dependence set by the game's category (Fig. 7).
+//
+// gamesim is the bottom layer of the pipeline (gamesim → telemetry →
+// profiler/cluster → predictor → scheduler → experiments) and holds no
+// global state: GameSpec values are immutable after construction and safe to
+// share across goroutines, while each Session owns a private RNG seeded at
+// construction and must be confined to one goroutine. Concurrent simulations
+// therefore create one Session per goroutine from a shared spec.
 package gamesim
 
 import (

@@ -3,6 +3,8 @@ package mlmodels
 import (
 	"math"
 	"math/rand"
+
+	"cocg/internal/parallel"
 )
 
 // ForestConfig controls Random Forest training.
@@ -10,6 +12,11 @@ type ForestConfig struct {
 	NumTrees int // number of bagged trees; <=0 means 50
 	Tree     TreeConfig
 	Seed     int64
+	// Workers bounds the goroutines used to train trees; <= 0 means
+	// GOMAXPROCS. Each tree derives its own RNG from a seed drawn serially
+	// from the master seed before the fan-out, so the fitted forest is
+	// identical at every worker count.
+	Workers int
 }
 
 func (c ForestConfig) withDefaults() ForestConfig {
@@ -65,29 +72,33 @@ func (f *RandomForest) Fit(ds *Dataset) error {
 			treeCfg.FeatureSubset = 1
 		}
 	}
-	f.trees = make([]*treeNode, 0, f.cfg.NumTrees)
 	n := ds.Len()
-	// oobVotes[i][c] counts class-c votes for sample i from trees that did
-	// not see it.
-	oobVotes := make([][]int, n)
-	for i := range oobVotes {
-		oobVotes[i] = make([]int, ds.NumClasses)
+	// Draw every tree's seed serially from the master RNG before fanning
+	// out, so the forest is a pure function of cfg.Seed regardless of how
+	// many workers train it.
+	seeds := make([]int64, f.cfg.NumTrees)
+	for t := range seeds {
+		seeds[t] = rng.Int63()
 	}
-	inBag := make([]bool, n)
-	for t := 0; t < f.cfg.NumTrees; t++ {
+	f.trees = make([]*treeNode, f.cfg.NumTrees)
+	// oobPred[t][i] is tree t's prediction for sample i when the bootstrap
+	// missed it, or -1 when sample i was in tree t's bag.
+	oobPred := make([][]int32, f.cfg.NumTrees)
+	parallel.For(f.cfg.Workers, f.cfg.NumTrees, func(t int) {
+		treeRNG := rand.New(rand.NewSource(seeds[t]))
 		// Bootstrap sample with replacement.
-		for i := range inBag {
-			inBag[i] = false
-		}
+		inBag := make([]bool, n)
 		idx := make([]int, n)
 		for i := range idx {
-			idx[i] = rng.Intn(n)
+			idx[i] = treeRNG.Intn(n)
 			inBag[idx[i]] = true
 		}
-		tree := buildClassTree(ds, idx, treeCfg, 0, rng)
-		f.trees = append(f.trees, tree)
+		tree := buildClassTree(ds, idx, treeCfg, 0, treeRNG)
+		f.trees[t] = tree
+		pred := make([]int32, n)
 		for i, s := range ds.Samples {
 			if inBag[i] {
+				pred[i] = -1
 				continue
 			}
 			node := tree
@@ -98,7 +109,21 @@ func (f *RandomForest) Fit(ds *Dataset) error {
 					node = node.right
 				}
 			}
-			oobVotes[i][node.label]++
+			pred[i] = int32(node.label)
+		}
+		oobPred[t] = pred
+	})
+	// oobVotes[i][c] counts class-c votes for sample i from trees that did
+	// not see it; integer accumulation, so merge order is irrelevant.
+	oobVotes := make([][]int, n)
+	for i := range oobVotes {
+		oobVotes[i] = make([]int, ds.NumClasses)
+	}
+	for _, pred := range oobPred {
+		for i, p := range pred {
+			if p >= 0 {
+				oobVotes[i][p]++
+			}
 		}
 	}
 	var correct, scored int

@@ -3,6 +3,8 @@ package mlmodels
 import (
 	"math"
 	"math/rand"
+
+	"cocg/internal/parallel"
 )
 
 // GBDTConfig controls gradient-boosted tree training.
@@ -11,6 +13,13 @@ type GBDTConfig struct {
 	LearningRate float64 // shrinkage; <=0 means 0.2
 	Tree         TreeConfig
 	Seed         int64
+	// Workers bounds the goroutines used inside each boosting round (the
+	// rounds themselves are inherently sequential): the per-class candidate
+	// trees fit concurrently and the residual/score passes fan out over
+	// sample chunks. Each class tree derives its RNG from a seed drawn
+	// serially before the fan-out, so the model is identical at every
+	// worker count. <= 0 means GOMAXPROCS.
+	Workers int
 }
 
 func (c GBDTConfig) withDefaults() GBDTConfig {
@@ -79,45 +88,62 @@ func (g *GBDT) Fit(ds *Dataset) error {
 	}
 
 	g.trees = make([][]*treeNode, 0, g.cfg.NumRounds)
-	probs := make([]float64, k)
 	kf := float64(k)
+	workers := g.cfg.Workers
+	// leaf is the Newton step for the softmax objective:
+	// (K-1)/K * sum(r) / sum(|r| * (1-|r|)).
+	leaf := func(rows []regTarget) float64 {
+		var num, den float64
+		for _, r := range rows {
+			num += r.target
+			a := math.Abs(r.target)
+			den += a * (1 - a)
+		}
+		if den < 1e-12 {
+			return 0
+		}
+		return (kf - 1) / kf * num / den
+	}
+	residuals := make([][]regTarget, k)
+	for c := range residuals {
+		residuals[c] = make([]regTarget, n)
+	}
 	for round := 0; round < g.cfg.NumRounds; round++ {
+		// Residuals for every class under the current model; each sample's
+		// row is independent, so the pass fans out over sample chunks.
+		parallel.ForChunks(workers, n, func(_, lo, hi int) {
+			probs := make([]float64, k)
+			for i := lo; i < hi; i++ {
+				softmaxInto(scores[i], probs)
+				for c := 0; c < k; c++ {
+					y := 0.0
+					if ds.Samples[i].Label == c {
+						y = 1.0
+					}
+					residuals[c][i] = regTarget{idx: i, target: y - probs[c]}
+				}
+			}
+		})
+		// One candidate tree per class; the fits are independent given the
+		// residuals. Seeds are drawn serially so the fan-out cannot change
+		// the model.
+		seeds := make([]int64, k)
+		for c := range seeds {
+			seeds[c] = rng.Int63()
+		}
 		roundTrees := make([]*treeNode, k)
-		// Residuals for every class under the current model.
-		residuals := make([][]regTarget, k)
-		for i := range ds.Samples {
-			softmaxInto(scores[i], probs)
-			for c := 0; c < k; c++ {
-				y := 0.0
-				if ds.Samples[i].Label == c {
-					y = 1.0
-				}
-				residuals[c] = append(residuals[c], regTarget{idx: i, target: y - probs[c]})
-			}
-		}
-		for c := 0; c < k; c++ {
-			leaf := func(rows []regTarget) float64 {
-				// Newton step for the softmax objective:
-				// (K-1)/K * sum(r) / sum(|r| * (1-|r|)).
-				var num, den float64
-				for _, r := range rows {
-					num += r.target
-					a := math.Abs(r.target)
-					den += a * (1 - a)
-				}
-				if den < 1e-12 {
-					return 0
-				}
-				return (kf - 1) / kf * num / den
-			}
-			roundTrees[c] = buildRegTree(ds, residuals[c], g.cfg.Tree, 0, rng, leaf)
-		}
+		parallel.For(workers, k, func(c int) {
+			classRNG := rand.New(rand.NewSource(seeds[c]))
+			roundTrees[c] = buildRegTree(ds, residuals[c], g.cfg.Tree, 0, classRNG, leaf)
+		})
 		// Update scores with the shrunken tree outputs.
-		for i, s := range ds.Samples {
-			for c := 0; c < k; c++ {
-				scores[i][c] += g.cfg.LearningRate * predictReg(roundTrees[c], s.Features)
+		parallel.ForChunks(workers, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for c := 0; c < k; c++ {
+					scores[i][c] += g.cfg.LearningRate * predictReg(roundTrees[c], ds.Samples[i].Features)
+				}
 			}
-		}
+		})
 		g.trees = append(g.trees, roundTrees)
 	}
 	g.nfeat = ds.NumFeatures

@@ -1,0 +1,182 @@
+// Package parallel is the repo's shared worker-pool substrate: bounded
+// fan-out with deterministic work decomposition, used by the K-means
+// clusterer, the RF/GBDT trainers, and the experiment harness.
+//
+// Two properties hold everywhere:
+//
+//   - Bounded concurrency: no call ever runs more than the requested number
+//     of goroutines, so nested fan-out (experiments → training → trees)
+//     cannot oversubscribe the machine.
+//   - Determinism: work is decomposed the same way regardless of the worker
+//     count. For-loops partition the index space identically at workers=1
+//     and workers=64; floating-point reductions must therefore merge
+//     per-chunk partials in chunk order (see ForChunks), never in goroutine
+//     completion order.
+//
+// Panics inside workers are captured and re-raised on the calling
+// goroutine (wrapped in a *WorkerPanic carrying the original value and the
+// worker's stack), so a bug in a worker fails the run loudly instead of
+// crashing the process from an anonymous goroutine.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: n >= 1 is used as-is, and
+// anything else (0, negative) resolves to runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n >= 1 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// WorkerPanic wraps a panic that escaped a worker goroutine; For, ForChunks
+// and Group re-raise it on the caller's goroutine.
+type WorkerPanic struct {
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at panic time.
+	Stack string
+}
+
+// Error renders the panic; WorkerPanic is re-raised via panic, not returned,
+// but implementing error keeps recovered values printable.
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// For runs body(i) for every i in [0, n), using at most workers goroutines
+// (Workers-normalized). Indices are handed out via an atomic counter, so the
+// set of executed indices is always exactly [0, n) regardless of the worker
+// count; body must therefore be independent per index. A panic in any body
+// call is re-raised on the caller once all workers have stopped.
+func For(workers, n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[WorkerPanic]
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer capture(&panicked)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+}
+
+// ChunkSize is the fixed granularity ForChunks decomposes index spaces at.
+// It is a constant — not derived from the worker count — so the chunk
+// boundaries seen by body are identical at every parallelism level; callers
+// that sum floating-point partials per chunk and merge them in chunk order
+// get bit-identical results at workers=1 and workers=N.
+const ChunkSize = 256
+
+// NumChunks returns how many ForChunks chunks an index space of size n
+// decomposes into; callers size per-chunk partial-result slices with it.
+func NumChunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + ChunkSize - 1) / ChunkSize
+}
+
+// ForChunks splits [0, n) into fixed-size chunks (ChunkSize indices each,
+// independent of workers) and runs body(chunk, lo, hi) for each half-open
+// [lo, hi) range, using at most workers goroutines. chunk is the chunk
+// index in [0, NumChunks(n)); bodies run concurrently, so per-chunk results
+// must be written to disjoint slots and merged by the caller in chunk order
+// when the reduction is order-sensitive (floating-point sums).
+func ForChunks(workers, n int, body func(chunk, lo, hi int)) {
+	For(workers, NumChunks(n), func(c int) {
+		lo := c * ChunkSize
+		hi := lo + ChunkSize
+		if hi > n {
+			hi = n
+		}
+		body(c, lo, hi)
+	})
+}
+
+// Group runs error-returning tasks with bounded concurrency: an errgroup
+// shaped for this repo (first error wins, worker panics re-raised on Wait).
+type Group struct {
+	sem      chan struct{}
+	wg       sync.WaitGroup
+	errOnce  sync.Once
+	err      error
+	panicked atomic.Pointer[WorkerPanic]
+}
+
+// NewGroup returns a Group that runs at most workers (Workers-normalized)
+// tasks concurrently; further Go calls block until a slot frees.
+func NewGroup(workers int) *Group {
+	return &Group{sem: make(chan struct{}, Workers(workers))}
+}
+
+// Go schedules one task, blocking while the group is at its concurrency
+// limit. Tasks scheduled after the limit is reached still all run; Go only
+// applies backpressure, it never drops work.
+func (g *Group) Go(task func() error) {
+	g.sem <- struct{}{}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		defer capture(&g.panicked)
+		if err := task(); err != nil {
+			g.errOnce.Do(func() { g.err = err })
+		}
+	}()
+}
+
+// Wait blocks until every scheduled task finished, then re-raises the first
+// worker panic (if any) and returns the first task error (if any).
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	if p := g.panicked.Load(); p != nil {
+		panic(p)
+	}
+	return g.err
+}
+
+// capture stores the first escaping panic so the spawner can re-raise it.
+func capture(dst *atomic.Pointer[WorkerPanic]) {
+	if v := recover(); v != nil {
+		buf := make([]byte, 16<<10)
+		buf = buf[:runtime.Stack(buf, false)]
+		p := &WorkerPanic{Value: v, Stack: string(buf)}
+		dst.CompareAndSwap(nil, p)
+	}
+}

@@ -8,6 +8,7 @@ package platform
 
 import (
 	"fmt"
+	"sort"
 
 	"cocg/internal/gamesim"
 	"cocg/internal/resources"
@@ -265,8 +266,16 @@ func Throughput(records []Record, ref map[string]float64) float64 {
 		count[r.Game]++
 		dur[r.Game] += float64(r.Elapsed)
 	}
+	// Accumulate in sorted game order so the floating-point sum never
+	// depends on map iteration order.
+	games := make([]string, 0, len(count))
+	for g := range count {
+		games = append(games, g)
+	}
+	sort.Strings(games)
 	var t float64
-	for g, n := range count {
+	for _, g := range games {
+		n := count[g]
 		s := dur[g] / float64(n)
 		if refDur, ok := ref[g]; ok && refDur > 0 {
 			s = refDur

@@ -6,6 +6,7 @@ import (
 	"cocg/internal/dataset"
 	"cocg/internal/gamesim"
 	"cocg/internal/mlmodels"
+	"cocg/internal/parallel"
 	"cocg/internal/profiler"
 	"cocg/internal/resources"
 )
@@ -41,6 +42,23 @@ type Trained struct {
 	Corpus []*gamesim.Trace
 }
 
+// Clone returns a copy of the bundle whose habit-model maps are independent
+// of the original. The profile, corpus, and model values stay shared — they
+// are immutable after training — but an OnlineLearner wrapping the clone can
+// add dedicated models without mutating a bundle other goroutines read.
+func (t *Trained) Clone() *Trained {
+	out := *t
+	out.HabitModels = make(map[int64][]mlmodels.Classifier, len(t.HabitModels))
+	for h, m := range t.HabitModels {
+		out.HabitModels[h] = m
+	}
+	out.HabitAccuracy = make(map[int64]float64, len(t.HabitAccuracy))
+	for h, a := range t.HabitAccuracy {
+		out.HabitAccuracy[h] = a
+	}
+	return &out
+}
+
 // Habits returns the habit seeds with dedicated models, sorted; experiments
 // use them to spawn sessions of known (returning) players.
 func (t *Trained) Habits() []int64 {
@@ -69,6 +87,9 @@ type TrainConfig struct {
 	// ForceGlobal ignores the category-aware selection strategy and pools
 	// all samples (the ablation of Section IV-B1's design).
 	ForceGlobal bool
+	// Workers bounds the goroutines used by the clustering and model
+	// training passes; <= 0 means GOMAXPROCS. Results do not depend on it.
+	Workers int
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -94,7 +115,7 @@ func TrainForGame(spec *gamesim.GameSpec, cfg TrainConfig) (*Trained, error) {
 	if err != nil {
 		return nil, err
 	}
-	prof, err := profiler.Build(corpus, profiler.Config{K: len(spec.Clusters), Seed: c.Seed})
+	prof, err := profiler.Build(corpus, profiler.Config{K: len(spec.Clusters), Seed: c.Seed, Workers: c.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +136,7 @@ func TrainForGame(spec *gamesim.GameSpec, cfg TrainConfig) (*Trained, error) {
 	if err != nil {
 		return nil, err
 	}
-	models, err := TrainModels(ds, c.Seed)
+	models, err := TrainModelsParallel(ds, c.Seed, c.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -141,22 +162,50 @@ func TrainForGame(spec *gamesim.GameSpec, cfg TrainConfig) (*Trained, error) {
 		for _, tr := range corpus {
 			byHabit[tr.Habit] = append(byHabit[tr.Habit], ex.FromTrace(tr)...)
 		}
-		t.HabitModels = map[int64][]mlmodels.Classifier{}
-		t.HabitAccuracy = map[int64]float64{}
-		for habit, trans := range byHabit {
+		// Per-habit trainings are independent (each is seeded by
+		// c.Seed+habit), so they fan out; the habit list is materialized
+		// first because map iteration cannot be shared across goroutines.
+		habits := make([]int64, 0, len(byHabit))
+		for habit := range byHabit {
+			habits = append(habits, habit)
+		}
+		sort.Slice(habits, func(a, b int) bool { return habits[a] < habits[b] })
+		type habitResult struct {
+			models []mlmodels.Classifier
+			acc    float64
+		}
+		results := make([]*habitResult, len(habits))
+		errs := make([]error, len(habits))
+		parallel.For(c.Workers, len(habits), func(i int) {
+			habit := habits[i]
+			trans := byHabit[habit]
 			if len(trans) < 6 {
-				continue // too little history for a dedicated model
+				return // too little history for a dedicated model
 			}
 			hds, err := dataset.ToDataset(trans, prof.NumStageTypes())
 			if err != nil {
-				continue
+				return
 			}
 			hm, err := TrainModels(hds, c.Seed+habit)
 			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = &habitResult{models: hm, acc: heldOutAccuracy(hds, c.Seed+habit)}
+		})
+		for _, err := range errs {
+			if err != nil {
 				return nil, err
 			}
-			t.HabitModels[habit] = hm
-			t.HabitAccuracy[habit] = heldOutAccuracy(hds, c.Seed+habit)
+		}
+		t.HabitModels = map[int64][]mlmodels.Classifier{}
+		t.HabitAccuracy = map[int64]float64{}
+		for i, r := range results {
+			if r == nil {
+				continue
+			}
+			t.HabitModels[habits[i]] = r.models
+			t.HabitAccuracy[habits[i]] = r.acc
 		}
 	}
 	return t, nil

@@ -95,6 +95,9 @@ type Config struct {
 	// bursts cover well under a third of a stage.
 	MinClusterShare float64
 	Seed            int64
+	// Workers bounds the goroutines the clustering passes may use; <= 0
+	// means GOMAXPROCS. Profiles do not depend on it.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -122,13 +125,13 @@ func Build(traces []*gamesim.Trace, cfg Config) (*Profile, error) {
 	}
 	k := c.K
 	if k <= 0 {
-		curve, err := cluster.Sweep(frames, c.MaxK, c.Seed)
+		curve, err := cluster.Sweep(frames, c.MaxK, c.Seed, c.Workers)
 		if err != nil {
 			return nil, err
 		}
 		k = cluster.Elbow(curve, 0.06)
 	}
-	res, err := cluster.KMeans(frames, cluster.Config{K: k, Seed: c.Seed})
+	res, err := cluster.KMeans(frames, cluster.Config{K: k, Seed: c.Seed, Workers: c.Workers})
 	if err != nil {
 		return nil, err
 	}

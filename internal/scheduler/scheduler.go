@@ -3,6 +3,15 @@
 // busy server only when the predicted per-game timelines never overlap past
 // capacity, and the regulator that resolves residual spikes by extending
 // loading stages and exploiting the short/long game distinction.
+//
+// A Policy reads the shared Trained bundle (profiles and models, immutable
+// after training) but keeps per-cluster mutable state, so each concurrently
+// simulated cluster needs its own Policy instance — core.System.NewCluster
+// constructs one per call for exactly this reason. The policy draws no
+// randomness of its own: given the same arrival stream and seeds, every
+// admission and regulation decision replays identically, which is what lets
+// the experiment harness fan out whole simulations across goroutines without
+// changing any figure.
 package scheduler
 
 import (
