@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt bench
+.PHONY: all build test race fmt lint bench
 
 all: build test
 
@@ -13,11 +13,17 @@ build:
 test:
 	$(GO) test ./...
 
-# race is the concurrency gate: formatting must be clean, vet must pass, and
-# the full suite (including the worker-count-invariance and harness
-# determinism tests) must pass under the race detector.
-race: fmt
+# lint runs go vet plus cocg-lint, the repo-specific determinism &
+# correctness analyzers (see docs/STATIC_ANALYSIS.md). It exits non-zero on
+# any finding.
+lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/cocg-lint ./...
+
+# race is the concurrency gate: formatting must be clean, the analyzers must
+# be silent, and the full suite (including the worker-count-invariance and
+# harness determinism tests) must pass under the race detector.
+race: fmt lint
 	$(GO) test -race ./...
 
 # fmt fails (listing the offenders) when any file is not gofmt-clean.

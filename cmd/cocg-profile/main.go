@@ -41,7 +41,7 @@ func main() {
 			os.Exit(2)
 		}
 		spec, err = gamesim.LoadSpec(f)
-		f.Close()
+		_ = f.Close() // read-only file; a LoadSpec error dominates
 	} else {
 		name := strings.Join(flag.Args(), " ")
 		if name == "" {

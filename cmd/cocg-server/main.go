@@ -84,5 +84,8 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Println("\nshutting down...")
-	srv.Close()
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "shutdown:", err)
+		os.Exit(1)
+	}
 }

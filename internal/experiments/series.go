@@ -12,7 +12,7 @@ import (
 func (r *Fig2Result) UtilSeries() *export.Series {
 	s := export.NewSeries("fig2 "+r.Game+" utilization", "frame", "cpu", "gpu")
 	for _, v := range r.Series {
-		s.Add(v[resources.CPU], v[resources.GPU])
+		s.MustAdd(v[resources.CPU], v[resources.GPU])
 	}
 	return s
 }
@@ -21,7 +21,7 @@ func (r *Fig2Result) UtilSeries() *export.Series {
 func (r *Fig9Result) UtilSeries() *export.Series {
 	s := export.NewSeries("fig9 genshin dota2 colocation", "frame", "genshin", "dota2", "total")
 	for _, p := range r.Series {
-		s.Add(p[0], p[1], p[2])
+		s.MustAdd(p[0], p[1], p[2])
 	}
 	return s
 }
@@ -31,7 +31,7 @@ func (r *Fig9Result) UtilSeries() *export.Series {
 func (r *Fig10Result) AllocSeries() *export.Series {
 	s := export.NewSeries("fig10 genshin allocation", "second", "allocated", "demanded")
 	for _, p := range r.GenshinSeries {
-		s.Add(p[0], p[1])
+		s.MustAdd(p[0], p[1])
 	}
 	return s
 }
@@ -43,7 +43,7 @@ func (r *Fig14Result) SSESeries() []*export.Series {
 	for _, c := range r.Curves {
 		s := export.NewSeries("fig14 "+c.Game+" sse", "k", "sse")
 		for _, p := range c.Points {
-			s.Add(p.SSE)
+			s.MustAdd(p.SSE)
 		}
 		out = append(out, s)
 	}

@@ -36,6 +36,15 @@ func (s *Series) Add(values ...float64) error {
 	return nil
 }
 
+// MustAdd appends one row and panics on a column-count mismatch. It is for
+// callers that build the row from the series' own column list, where a
+// mismatch is a programming error rather than a runtime condition.
+func (s *Series) MustAdd(values ...float64) {
+	if err := s.Add(values...); err != nil {
+		panic(err)
+	}
+}
+
 // Len returns the number of rows.
 func (s *Series) Len() int { return len(s.Rows) }
 
@@ -90,7 +99,7 @@ func (s *Series) SaveCSV(dir string) (string, error) {
 		return "", err
 	}
 	if err := s.WriteCSV(f); err != nil {
-		f.Close()
+		_ = f.Close() // write error dominates
 		return "", err
 	}
 	return path, f.Close()

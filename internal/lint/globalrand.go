@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand forbids the math/rand package-level functions (rand.Intn,
+// rand.Float64, rand.Shuffle, ...) and wall-clock seeding
+// (rand.NewSource(time.Now()...)) outside test files. All randomness in the
+// reproduction must flow through explicitly-seeded per-component *rand.Rand
+// values so a run is a pure function of its configured seeds; the shared
+// global source is both cross-component coupled and racy under the worker
+// pool.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "math/rand global functions or wall-clock-seeded sources outside tests",
+	Run:  runGlobalRand,
+}
+
+// globalRandAllowed are the math/rand package-level names that do not touch
+// the global source: constructors for explicit generators.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := selectedFunc(pass, sel)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // method on *rand.Rand etc. — explicitly seeded, fine
+			}
+			if !globalRandAllowed[fn.Name()] {
+				pass.Reportf(call.Pos(), "rand.%s uses the shared global math/rand source; thread an explicitly-seeded *rand.Rand instead", fn.Name())
+				return true
+			}
+			if fn.Name() == "NewSource" && callsWallClock(pass, call.Args) {
+				pass.Reportf(call.Pos(), "rand.NewSource seeded from time.Now makes runs irreproducible; derive the seed from configuration")
+			}
+			return true
+		})
+	}
+}
+
+// callsWallClock reports whether any of the expressions calls time.Now.
+func callsWallClock(pass *Pass, exprs []ast.Expr) bool {
+	found := false
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if fn := selectedFunc(pass, sel); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

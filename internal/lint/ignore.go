@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces an inline suppression comment:
+//
+//	//cocg:lint-ignore <analyzer> <reason>
+//
+// The reason is mandatory prose for the reviewer; the driver only checks that
+// it is non-empty so suppressions are never silent.
+const ignorePrefix = "//cocg:lint-ignore"
+
+// UnusedIgnoreAnalyzer is the analyzer name attached to findings about
+// //cocg:lint-ignore comments that suppressed nothing.
+const UnusedIgnoreAnalyzer = "unusedignore"
+
+type ignoreDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// applyIgnores filters findings through the package's //cocg:lint-ignore
+// comments. A directive cancels findings of its named analyzer on the
+// directive's own line; if that line has none, it applies to the next line
+// (the comment-above-the-statement form). Directives that cancel nothing
+// become findings themselves so stale ignores are cleaned up, and malformed
+// directives (missing analyzer or reason) are reported too.
+func applyIgnores(pkg *Package, findings []Finding) []Finding {
+	var directives []*ignoreDirective
+	var malformed []Finding
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				fields := strings.Fields(rest)
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					malformed = append(malformed, Finding{
+						Pos:      pos,
+						Analyzer: UnusedIgnoreAnalyzer,
+						Message:  "malformed //cocg:lint-ignore: need `//cocg:lint-ignore <analyzer> <reason>`",
+					})
+					continue
+				}
+				directives = append(directives, &ignoreDirective{
+					pos:      pos,
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	if len(directives) == 0 {
+		return append(findings, malformed...)
+	}
+
+	suppressed := make(map[int]bool, len(findings))
+	for _, d := range directives {
+		// Same-line form first; fall back to the line below.
+		for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+			for i, f := range findings {
+				if suppressed[i] || f.Analyzer != d.analyzer {
+					continue
+				}
+				if f.Pos.Filename == d.pos.Filename && f.Pos.Line == line {
+					suppressed[i] = true
+					d.used = true
+				}
+			}
+			if d.used {
+				break
+			}
+		}
+	}
+
+	var out []Finding
+	for i, f := range findings {
+		if !suppressed[i] {
+			out = append(out, f)
+		}
+	}
+	for _, d := range directives {
+		if !d.used {
+			out = append(out, Finding{
+				Pos:      d.pos,
+				Analyzer: UnusedIgnoreAnalyzer,
+				Message:  "unused //cocg:lint-ignore " + d.analyzer + ": no matching finding on this or the next line",
+			})
+		}
+	}
+	return append(out, malformed...)
+}

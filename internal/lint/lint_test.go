@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+// sharedLoader builds one Loader per test binary; its export-data closure
+// (the module's own dependencies) covers everything the testdata imports.
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loaderVal, loaderErr = NewLoader(moduleRoot(t))
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+// loadTestdata type-checks testdata/src/<dir> under the given import path.
+func loadTestdata(t *testing.T, dir, importPath string) *Package {
+	t.Helper()
+	pkg, err := sharedLoader(t).CheckDir(filepath.Join("testdata", "src", dir), importPath)
+	if err != nil {
+		t.Fatalf("loading testdata/src/%s: %v", dir, err)
+	}
+	return pkg
+}
+
+// want expectations are inline comments of the form
+//
+//	// want `regexp` `regexp` ...
+//
+// where each regexp must match one finding rendered as "[analyzer] message"
+// on the comment's line.
+type wantExpectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantToken = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+func collectWants(t *testing.T, pkg *Package) []*wantExpectation {
+	t.Helper()
+	var wants []*wantExpectation
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				_, spec, found := strings.Cut(c.Text, "want ")
+				if !found {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				toks := wantToken.FindAllString(spec, -1)
+				if len(toks) == 0 {
+					t.Fatalf("%s:%d: want comment without a quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, tok := range toks {
+					re, err := regexp.Compile(tok[1 : len(tok)-1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, tok, err)
+					}
+					wants = append(wants, &wantExpectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkGolden runs the analyzers over the package and compares findings
+// against the // want comments: every finding needs a matching want on its
+// line, and every want must be consumed.
+func checkGolden(t *testing.T, pkg *Package, analyzers []*Analyzer) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	findings := Run([]*Package{pkg}, analyzers)
+	for _, f := range findings {
+		rendered := fmt.Sprintf("[%s] %s", f.Analyzer, f.Message)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(rendered) {
+				w.matched, ok = true, true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestMapOrderGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "maporder", "cocg/internal/maporderlike"), []*Analyzer{MapOrder})
+}
+
+func TestGlobalRandGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "globalrand", "cocg/internal/randlike"), []*Analyzer{GlobalRand})
+}
+
+func TestWallTimeGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "walltime", "cocg/internal/schedlike"), []*Analyzer{WallTime})
+}
+
+// TestWallTimeExemptions loads wall-clock-reading code under every path class
+// that is allowed to read real time and expects silence.
+func TestWallTimeExemptions(t *testing.T) {
+	for _, path := range []string{"cocg/internal/streaming", "cocg/internal/telemetry", "cocg/cmd/tool", "cocg"} {
+		pkg := loadTestdata(t, "walltime_exempt", path)
+		if fs := Run([]*Package{pkg}, []*Analyzer{WallTime}); len(fs) != 0 {
+			t.Errorf("path %s: unexpected findings: %v", path, fs)
+		}
+	}
+}
+
+func TestRawGoGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "rawgo", "cocg/internal/rawgolike"), []*Analyzer{RawGo})
+}
+
+// TestRawGoExemptions mirrors TestWallTimeExemptions for goroutine fan-out.
+func TestRawGoExemptions(t *testing.T) {
+	for _, path := range []string{"cocg/internal/parallel", "cocg/internal/streaming", "cocg/cmd/tool"} {
+		pkg := loadTestdata(t, "rawgo_exempt", path)
+		if fs := Run([]*Package{pkg}, []*Analyzer{RawGo}); len(fs) != 0 {
+			t.Errorf("path %s: unexpected findings: %v", path, fs)
+		}
+	}
+}
+
+func TestDroppedErrGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "droppederr", "cocg/internal/errlike"), []*Analyzer{DroppedErr})
+}
+
+// TestIgnoreDirectives checks the suppression contract: an inline ignore
+// suppresses exactly the finding on its line, the standalone form suppresses
+// the line below, and a directive that suppresses nothing is itself reported.
+func TestIgnoreDirectives(t *testing.T) {
+	pkg := loadTestdata(t, "ignore", "cocg/internal/ignorelike")
+	checkGolden(t, pkg, []*Analyzer{GlobalRand})
+
+	// The golden pass already pins the surviving findings; additionally pin
+	// the exact count so a blanket suppression bug cannot sneak through.
+	findings := Run([]*Package{pkg}, []*Analyzer{GlobalRand})
+	var globalrand, unused int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case GlobalRand.Name:
+			globalrand++
+		case UnusedIgnoreAnalyzer:
+			unused++
+		default:
+			t.Errorf("unexpected analyzer %q in %s", f.Analyzer, f)
+		}
+	}
+	if globalrand != 1 || unused != 1 {
+		t.Errorf("got %d globalrand + %d unusedignore findings, want exactly 1 + 1:\n%v", globalrand, unused, findings)
+	}
+}
+
+// TestByName covers the analyzer registry used by the -run flag.
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
+	}
+	two, err := ByName("maporder, droppederr")
+	if err != nil || len(two) != 2 || two[0] != MapOrder || two[1] != DroppedErr {
+		t.Fatalf("ByName list = %v, err %v", two, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(\"nope\") should fail")
+	}
+}
+
+// TestRepoIsClean runs the full analyzer set over the whole module — the
+// same gate `make lint` enforces — so `go test` alone catches regressions.
+func TestRepoIsClean(t *testing.T) {
+	pkgs, err := sharedLoader(t).LoadPackages("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(pkgs, All()) {
+		t.Errorf("finding in repo: %s", f)
+	}
+}
+
+// TestLoadPackages sanity-checks the go-list-based loader itself.
+func TestLoadPackages(t *testing.T) {
+	l := sharedLoader(t)
+	if l.ModulePath != "cocg" {
+		t.Fatalf("module path = %q, want cocg", l.ModulePath)
+	}
+	pkgs, err := l.LoadPackages("./internal/simclock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "cocg/internal/simclock" {
+		t.Fatalf("unexpected packages: %+v", pkgs)
+	}
+	if len(pkgs[0].Files) == 0 || pkgs[0].Types == nil {
+		t.Fatal("package loaded without files or type info")
+	}
+	var _ *ast.File = pkgs[0].Files[0]
+}

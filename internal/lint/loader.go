@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path   string // import path
+	Dir    string
+	Module string // owning module path
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of one module using only the
+// standard library. Import resolution goes through compiler export data
+// discovered with `go list -deps -export`, so no network access and no
+// third-party loader (golang.org/x/tools) is needed; the go toolchain baked
+// into the environment does the heavy lifting of building export data.
+type Loader struct {
+	ModuleDir  string
+	ModulePath string
+
+	Fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// goList runs `go list` in dir and decodes its JSON package stream.
+func goList(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// NewLoader prepares a loader for the module rooted at dir. It builds (or
+// reuses from the build cache) export data for the module's full dependency
+// closure plus any extra package patterns, so later LoadPackages / CheckDir
+// calls can resolve every import offline.
+func NewLoader(dir string, extra ...string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = abs
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -m in %s: %v", abs, err)
+	}
+	module := strings.TrimSpace(string(out))
+
+	deps, err := goList(abs, append([]string{"-deps", "-export", "-json", "./..."}, extra...)...)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		ModuleDir:  abs,
+		ModulePath: module,
+		Fset:       token.NewFileSet(),
+		exports:    make(map[string]string, len(deps)),
+	}
+	for _, p := range deps {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.imp = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return l, nil
+}
+
+// LoadPackages parses and type-checks the module packages matched by the
+// given `go list` patterns (default ./...). Only production files are
+// loaded: the analyzers' invariants bind non-test code, and test-only
+// nondeterminism is already policed by the race/determinism gates.
+func (l *Loader) LoadPackages(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(l.ModuleDir, append([]string{"-json", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, p := range listed {
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// CheckDir type-checks every .go file in dir as a single package under the
+// given synthetic import path. The lint tests use it to load testdata
+// packages that are invisible to the go tool, with import paths chosen to
+// exercise the analyzers' path sensitivity.
+func (l *Loader) CheckDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return l.check(importPath, dir, files)
+}
+
+// check parses the named files and type-checks them as one package.
+func (l *Loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := &types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		Path:   importPath,
+		Dir:    dir,
+		Module: l.ModulePath,
+		Fset:   l.Fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+	}, nil
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `range` loops over maps whose bodies perform an
+// order-sensitive action: appending to a slice, accumulating into a float, or
+// writing to an output sink. Go randomises map iteration order, so each of
+// these silently produces run-to-run-different results — exactly the bug
+// class the determinism harness caught twice at runtime (Fig. 11 rendering
+// and platform.Throughput). The sanctioned idiom is collecting the keys,
+// sorting, and ranging over the sorted slice; collecting the bare range key
+// into a slice (`keys = append(keys, k)`) is therefore exempt.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "order-sensitive work (append/float-accumulate/output) inside map iteration",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rs)
+			return true
+		})
+	}
+}
+
+// checkMapRangeBody walks one map-range body looking for order-sensitive
+// statements. Nested blocks and loops are included; a nested map range is
+// reported when visited by the outer ast.Inspect, so it is not re-entered
+// here.
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt) {
+	keyObj := rangeKeyObject(pass, rs)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, stmt, keyObj)
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok {
+				checkMapRangeSink(pass, call)
+			}
+		}
+		return true
+	})
+}
+
+// rangeKeyObject returns the types.Object of the loop's key variable, or nil.
+func rangeKeyObject(pass *Pass, rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.Info.Defs[id]; obj != nil {
+		return obj // for k := range m
+	}
+	return pass.Info.Uses[id] // for k = range m
+}
+
+// checkMapRangeAssign flags slice appends and float accumulation.
+func checkMapRangeAssign(pass *Pass, stmt *ast.AssignStmt, keyObj types.Object) {
+	// Float accumulation: sum += v (and -=, *=, /=) reorders float ops
+	// run-to-run. Integer accumulation is associative and commutative, so
+	// it is not flagged.
+	switch stmt.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range stmt.Lhs {
+			if t := pass.Info.TypeOf(lhs); t != nil && isFloat(t) {
+				pass.Reportf(stmt.Pos(), "float accumulation inside map iteration is order-nondeterministic; iterate sorted keys")
+				return
+			}
+		}
+	}
+	// Slice append: append(s, x) inside a map range builds a
+	// randomly-ordered slice — unless x is exactly the range key, which is
+	// the first half of the sorted-keys idiom.
+	for _, rhs := range stmt.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") {
+			continue
+		}
+		if len(call.Args) == 2 && !call.Ellipsis.IsValid() && keyObj != nil {
+			if id, ok := call.Args[1].(*ast.Ident); ok && pass.Info.Uses[id] == keyObj {
+				continue // keys = append(keys, k): sorted-keys idiom
+			}
+		}
+		pass.Reportf(call.Pos(), "append inside map iteration yields nondeterministic order; collect and sort keys first")
+	}
+}
+
+// mapSinkMethods are io.Writer-shaped methods whose call order is observable
+// in the output.
+var mapSinkMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+// fmtPrinters are the fmt functions that emit output.
+var fmtPrinters = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// checkMapRangeSink flags writes to output sinks (fmt printers and
+// Write-family methods) issued per map entry.
+func checkMapRangeSink(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if obj := selectedFunc(pass, sel); obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "fmt" && fmtPrinters[obj.Name()] {
+		pass.Reportf(call.Pos(), "fmt.%s inside map iteration writes in nondeterministic order; iterate sorted keys", obj.Name())
+		return
+	}
+	if s := pass.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal && mapSinkMethods[sel.Sel.Name] {
+		pass.Reportf(call.Pos(), "%s call inside map iteration writes in nondeterministic order; iterate sorted keys", sel.Sel.Name)
+	}
+}
+
+// selectedFunc resolves a selector to the *types.Func it names, or nil.
+func selectedFunc(pass *Pass, sel *ast.SelectorExpr) *types.Func {
+	if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isBuiltin reports whether fun is a use of the named builtin.
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}

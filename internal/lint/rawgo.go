@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RawGo flags raw `go func` fan-out inside internal/ packages. PR 1 funneled
+// all simulation concurrency through the deterministic worker pool in
+// internal/parallel precisely so worker count cannot change results; an
+// unmanaged goroutine reintroduces scheduling-order dependence and escapes
+// the pool's panic propagation and sizing. internal/parallel itself and the
+// network server internal/streaming (whose per-connection goroutines are
+// inherent) are exempt, as are tests.
+var RawGo = &Analyzer{
+	Name: "rawgo",
+	Doc:  "raw go statements in internal/ packages outside the worker pool",
+	Run:  runRawGo,
+}
+
+// rawGoExempt lists the internal packages allowed to start goroutines
+// directly.
+var rawGoExempt = map[string]bool{
+	"internal/parallel":  true,
+	"internal/streaming": true,
+}
+
+func runRawGo(pass *Pass) {
+	rel, ok := pass.InternalPath()
+	if !ok || rawGoExempt[rel] {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(), "raw go statement in %s; route concurrency through the internal/parallel worker pool", rel)
+			}
+			return true
+		})
+	}
+}

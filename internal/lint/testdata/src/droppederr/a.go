@@ -1,0 +1,34 @@
+package droppederr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func fail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, nil }
+
+func bad(c closer) {
+	fail()          // want `\[droppederr\] error returned by fail is discarded`
+	pair()          // want `\[droppederr\] error returned by pair is discarded`
+	defer c.Close() // want `\[droppederr\] error returned by c\.Close is discarded`
+	go fail()       // want `\[droppederr\] error returned by fail is discarded`
+}
+
+func good(c closer) {
+	_ = fail() // ok: explicit discard
+	if err := fail(); err != nil {
+		fmt.Println(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("x") // ok: bytes.Buffer writes never fail
+	fmt.Println("done")  // ok: fmt print family is exempt
+	_, _ = pair()        // ok: explicit discard of the tuple
+	_ = c
+}

@@ -1,0 +1,18 @@
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = rand.Intn(10)                                   // want `\[globalrand\] rand\.Intn uses the shared global`
+	_ = rand.Float64()                                  // want `\[globalrand\] rand\.Float64 uses the shared global`
+	rand.Shuffle(3, func(i, j int) {})                  // want `\[globalrand\] rand\.Shuffle uses the shared global`
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want `\[globalrand\] rand\.NewSource seeded from time\.Now`
+}
+
+func good(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // ok: explicitly seeded generator
+	return r.Float64()                  // ok: method on *rand.Rand
+}

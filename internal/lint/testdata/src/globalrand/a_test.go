@@ -1,0 +1,5 @@
+package globalrand
+
+import "math/rand"
+
+func testHelper() int { return rand.Intn(3) } // ok: test files are exempt

@@ -1,0 +1,12 @@
+package ignore
+
+import "math/rand"
+
+func use() int {
+	a := rand.Intn(3) //cocg:lint-ignore globalrand fixed fanout, order provably irrelevant here
+	b := rand.Intn(4) // want `\[globalrand\] rand\.Intn uses the shared global`
+	//cocg:lint-ignore globalrand the directive-above-the-statement form
+	c := rand.Intn(5)
+	//cocg:lint-ignore maporder stale suppression that matches nothing // want `\[unusedignore\] unused //cocg:lint-ignore maporder`
+	return a + b + c
+}

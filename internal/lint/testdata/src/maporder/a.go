@@ -1,0 +1,45 @@
+package maporder
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+type sink struct{}
+
+func (sink) Write(p []byte) (int, error) { return len(p), nil }
+
+func flagged(m map[string]float64, w sink) {
+	var rows []string
+	var sum float64
+	for k, v := range m {
+		rows = append(rows, k+"!")              // want `\[maporder\] append inside map iteration`
+		sum += v                                // want `\[maporder\] float accumulation inside map iteration`
+		fmt.Fprintf(os.Stdout, "%s=%v\n", k, v) // want `\[maporder\] fmt\.Fprintf inside map iteration`
+		w.Write([]byte(k))                      // want `\[maporder\] Write call inside map iteration`
+	}
+	_ = rows
+	_ = sum
+}
+
+func sortedIdiom(m map[string]int) int {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: collecting bare keys for sorting
+	}
+	sort.Strings(keys)
+	total := 0
+	for _, k := range keys {
+		total += m[k] // ok: slice range, deterministic order
+	}
+	return total
+}
+
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // ok: integer accumulation is order-independent
+	}
+	return n
+}

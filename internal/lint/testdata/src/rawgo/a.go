@@ -1,0 +1,12 @@
+package rawgo
+
+func bad() {
+	done := make(chan struct{})
+	go func() { close(done) }() // want `\[rawgo\] raw go statement in internal/rawgolike`
+	<-done
+}
+
+func good() {
+	f := func() {}
+	f() // ok: plain call
+}

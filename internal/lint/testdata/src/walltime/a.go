@@ -1,0 +1,13 @@
+package walltime
+
+import "time"
+
+func bad() time.Time {
+	t := time.Now()   // want `\[walltime\] time\.Now in internal/schedlike`
+	_ = time.Since(t) // want `\[walltime\] time\.Since in internal/schedlike`
+	return t
+}
+
+func good() time.Duration {
+	return 5 * time.Second // ok: durations are not wall-clock reads
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// WallTime forbids reading the wall clock (time.Now, time.Since, time.Until)
+// inside internal/ packages. The simulation runs on internal/simclock virtual
+// time so that experiments replay bit-identically; a single time.Now in a hot
+// path silently couples results to the host. The network-facing
+// internal/streaming package and the sampling layer internal/telemetry are
+// exempt — they genuinely interoperate with real time — as are the cmd/ and
+// examples/ front-ends, which time their own wall-clock progress reporting.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "wall-clock reads (time.Now/Since/Until) in internal/ packages that must use simclock",
+	Run:  runWallTime,
+}
+
+// wallTimeExempt lists the internal packages allowed to read real time.
+var wallTimeExempt = map[string]bool{
+	"internal/streaming": true,
+	"internal/telemetry": true,
+}
+
+// wallClockFuncs are the time functions that observe the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runWallTime(pass *Pass) {
+	rel, ok := pass.InternalPath()
+	if !ok || wallTimeExempt[rel] {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn := selectedFunc(pass, sel)
+			if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && wallClockFuncs[fn.Name()] {
+				pass.Reportf(sel.Pos(), "time.%s in %s breaks replayability; use the simclock virtual clock", fn.Name(), rel)
+			}
+			return true
+		})
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 
 	"cocg/internal/core"
@@ -60,7 +61,7 @@ func Save(sys *core.System, w io.Writer) error {
 	}
 	zw := gzip.NewWriter(w)
 	if err := json.NewEncoder(zw).Encode(doc); err != nil {
-		zw.Close()
+		_ = zw.Close() // encode error dominates
 		return err
 	}
 	return zw.Close()
@@ -73,7 +74,7 @@ func Load(r io.Reader) (*core.System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("persist: not a bundle file: %w", err)
 	}
-	defer zr.Close()
+	defer func() { _ = zr.Close() }() // read path; decode errors surface first
 	var doc systemDTO
 	if err := json.NewDecoder(zr).Decode(&doc); err != nil {
 		return nil, err
@@ -102,7 +103,7 @@ func SaveFile(sys *core.System, path string) error {
 		return err
 	}
 	if err := Save(sys, f); err != nil {
-		f.Close()
+		_ = f.Close() // save error dominates
 		return err
 	}
 	return f.Close()
@@ -114,7 +115,7 @@ func LoadFile(path string) (*core.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only file
 	return Load(f)
 }
 
@@ -140,7 +141,8 @@ func bundleToDTO(b *predictor.Trained) (*bundleDTO, error) {
 	if len(b.HabitModels) > 0 {
 		dto.HabitModels = map[string][]*mlmodels.SavedModel{}
 		dto.HabitAccuracy = map[string]float64{}
-		for habit, models := range b.HabitModels {
+		for _, habit := range sortedHabits(b.HabitModels) {
+			models := b.HabitModels[habit]
 			key := strconv.FormatInt(habit, 10)
 			for _, m := range models {
 				sm, err := mlmodels.SaveModel(m)
@@ -184,7 +186,8 @@ func bundleFromDTO(d *bundleDTO) (*predictor.Trained, error) {
 	if len(d.HabitModels) > 0 {
 		b.HabitModels = map[int64][]mlmodels.Classifier{}
 		b.HabitAccuracy = map[int64]float64{}
-		for key, saved := range d.HabitModels {
+		for _, key := range sortedKeys(d.HabitModels) {
+			saved := d.HabitModels[key]
 			habit, err := strconv.ParseInt(key, 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("bad habit key %q", key)
@@ -200,4 +203,26 @@ func bundleFromDTO(d *bundleDTO) (*predictor.Trained, error) {
 		}
 	}
 	return b, nil
+}
+
+// sortedHabits returns the map's habit seeds in ascending order so bundles
+// serialize identically run to run.
+func sortedHabits(m map[int64][]mlmodels.Classifier) []int64 {
+	habits := make([]int64, 0, len(m))
+	for h := range m {
+		habits = append(habits, h)
+	}
+	sort.Slice(habits, func(i, j int) bool { return habits[i] < habits[j] })
+	return habits
+}
+
+// sortedKeys returns the map's keys in ascending order so bundles decode in
+// a deterministic sequence.
+func sortedKeys(m map[string][]*mlmodels.SavedModel) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -58,9 +58,12 @@ func Play(addr string, cfg ClientConfig) (*ClientStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	nc.SetDeadline(time.Now().Add(cfg.Timeout))
+	if err := nc.SetDeadline(time.Now().Add(cfg.Timeout)); err != nil {
+		_ = nc.Close()
+		return nil, err
+	}
 	conn := NewConn(nc)
-	defer conn.Close()
+	defer func() { _ = conn.Close() }() // teardown; session errors surface first
 
 	if err := conn.Send(&Envelope{Type: MsgHello, Hello: &Hello{
 		Game: cfg.Game, Script: cfg.Script, Habit: cfg.Habit,

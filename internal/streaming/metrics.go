@@ -84,5 +84,5 @@ func (s *Server) serveStatus(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.snapshot())
+	enc.Encode(s.snapshot()) //cocg:lint-ignore droppederr client disconnect mid-response is benign and headers are already sent
 }

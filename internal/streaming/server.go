@@ -110,7 +110,7 @@ func (s *Server) Close() error {
 	err := s.ln.Close()
 	s.mu.Lock()
 	for _, ls := range s.sessions {
-		ls.conn.Close()
+		_ = ls.conn.Close() // best-effort disconnect during teardown
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -136,7 +136,7 @@ func (s *Server) acceptLoop() {
 // handle runs one client connection: admission, then the input-reading loop
 // (frame delivery happens from the session's out channel).
 func (s *Server) handle(conn *Conn) {
-	defer conn.Close()
+	defer func() { _ = conn.Close() }()
 	env, err := conn.Recv()
 	if err != nil || env.Type != MsgHello {
 		return
@@ -144,16 +144,16 @@ func (s *Server) handle(conn *Conn) {
 	hello := env.Hello
 	spec, err := gamesim.GameByName(hello.Game)
 	if err != nil {
-		conn.Send(&Envelope{Type: MsgReject, Reject: &Reject{Reason: err.Error()}})
+		_ = conn.Send(&Envelope{Type: MsgReject, Reject: &Reject{Reason: err.Error()}})
 		return
 	}
 	if hello.Script < 0 || hello.Script >= len(spec.Scripts) {
-		conn.Send(&Envelope{Type: MsgReject, Reject: &Reject{Reason: "no such script"}})
+		_ = conn.Send(&Envelope{Type: MsgReject, Reject: &Reject{Reason: "no such script"}})
 		return
 	}
 	ls, reason := s.place(conn, spec, hello)
 	if ls == nil {
-		conn.Send(&Envelope{Type: MsgReject, Reject: &Reject{Reason: reason}})
+		_ = conn.Send(&Envelope{Type: MsgReject, Reject: &Reject{Reason: reason}})
 		return
 	}
 	// Writer: deliver frame batches until the session ends.
@@ -228,7 +228,9 @@ func (s *Server) place(conn *Conn, spec *gamesim.GameSpec, hello *Hello) (*liveS
 			out:    make(chan Envelope, 64),
 		}
 		s.sessions[ls.id] = ls
-		conn.Send(&Envelope{Type: MsgAccept, Accept: &Accept{
+		// Best-effort: if the accept never lands, the input loop's Recv
+		// fails and tears the session down.
+		_ = conn.Send(&Envelope{Type: MsgAccept, Accept: &Accept{
 			SessionID: ls.id, Server: srv.ID, Game: spec.Name,
 		}})
 		return ls, ""

@@ -139,7 +139,7 @@ func SaveAll(traces []*gamesim.Trace, dir string) ([]string, error) {
 			return nil, err
 		}
 		if err := Write(tr, f); err != nil {
-			f.Close()
+			_ = f.Close() // write error dominates
 			return nil, err
 		}
 		if err := f.Close(); err != nil {
@@ -159,7 +159,7 @@ func LoadAll(paths []string) ([]*gamesim.Trace, error) {
 			return nil, err
 		}
 		tr, err := Read(f)
-		f.Close()
+		_ = f.Close() // read-only file; a Read error dominates
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", p, err)
 		}
