@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt lint bench
+.PHONY: all build test race fmt lint bench bench-record
 
 all: build test
 
@@ -34,3 +34,14 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-record runs the hot-path benchmarks through cmd/cocg-bench and
+# writes the machine-readable record BENCH_PR3.json (ns/op, B/op, allocs/op,
+# custom metrics, plus commit/seed metadata) — the repo's benchmark
+# trajectory, one checked-in record per perf PR. Lint gates it so a record
+# is never taken from a tree the analyzers reject. Set BENCH_BASELINE to a
+# previous record to embed it and print the deltas.
+BENCH_OUT ?= BENCH_PR3.json
+BENCH_BASELINE ?=
+bench-record: lint
+	$(GO) run ./cmd/cocg-bench -out $(BENCH_OUT) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))

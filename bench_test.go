@@ -26,9 +26,13 @@ var (
 	benchCtxErr  error
 )
 
-// ctxForBench trains the five-game system once for all benchmarks.
+// ctxForBench trains the five-game system once for all benchmarks. It also
+// turns on allocation reporting, so every experiment benchmark publishes
+// allocs/op and B/op alongside ns/op — the quantities the benchmark
+// trajectory in BENCH_PR3.json tracks across PRs.
 func ctxForBench(b *testing.B) *experiments.Context {
 	b.Helper()
+	b.ReportAllocs()
 	benchCtxOnce.Do(func() {
 		benchCtx, benchCtxErr = experiments.NewContext(experiments.Options{Seed: 1, Fast: true})
 	})
@@ -40,6 +44,7 @@ func ctxForBench(b *testing.B) *experiments.Context {
 
 func BenchmarkTableI(b *testing.B) {
 	ctx := ctxForBench(b)
+	var last *experiments.TableIResult
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.TableI(ctx)
 		if err != nil {
@@ -48,11 +53,16 @@ func BenchmarkTableI(b *testing.B) {
 		if len(r.Rows) != 13 {
 			b.Fatalf("Table I rows = %d, want 13", len(r.Rows))
 		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(float64(len(last.Rows)), "script-rows")
 	}
 }
 
 func BenchmarkFig2StageTrace(b *testing.B) {
 	ctx := ctxForBench(b)
+	var last *experiments.Fig2Result
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig2(ctx)
 		if err != nil {
@@ -61,24 +71,40 @@ func BenchmarkFig2StageTrace(b *testing.B) {
 		if len(r.Stages) < 3 {
 			b.Fatal("too few stages in the Fig. 2 trace")
 		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(float64(len(last.Stages)), "stages")
 	}
 }
 
 func BenchmarkFig5CSGOClustering(b *testing.B) {
 	ctx := ctxForBench(b)
+	var last *experiments.ClusteringResult
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig5(ctx); err != nil {
+		r, err := experiments.Fig5(ctx)
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(float64(last.K), "clusters-k")
 	}
 }
 
 func BenchmarkFig6DMCClustering(b *testing.B) {
 	ctx := ctxForBench(b)
+	var last *experiments.ClusteringResult
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig6(ctx); err != nil {
+		r, err := experiments.Fig6(ctx)
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(float64(last.K), "clusters-k")
 	}
 }
 
@@ -130,6 +156,7 @@ func BenchmarkFig11Throughput(b *testing.B) {
 
 func BenchmarkFig12Overhead(b *testing.B) {
 	ctx := ctxForBench(b)
+	var last *experiments.Fig12Result
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig12(ctx)
 		if err != nil {
@@ -138,6 +165,10 @@ func BenchmarkFig12Overhead(b *testing.B) {
 		if !r.AllCovered {
 			b.Fatal("prediction latency exceeded a loading window")
 		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(float64(len(last.Rows)), "games-covered")
 	}
 }
 
@@ -159,6 +190,7 @@ func BenchmarkFig13FPS(b *testing.B) {
 
 func BenchmarkFig14ElbowSweep(b *testing.B) {
 	ctx := ctxForBench(b)
+	var last *experiments.Fig14Result
 	for i := 0; i < b.N; i++ {
 		r, err := experiments.Fig14(ctx)
 		if err != nil {
@@ -167,6 +199,14 @@ func BenchmarkFig14ElbowSweep(b *testing.B) {
 		if len(r.Curves) != 5 {
 			b.Fatal("expected five sweep curves")
 		}
+		last = r
+	}
+	if last != nil {
+		var elbow float64
+		for _, c := range last.Curves {
+			elbow += float64(c.Elbow)
+		}
+		b.ReportMetric(elbow/float64(len(last.Curves)), "mean-elbow-k")
 	}
 }
 
@@ -197,47 +237,79 @@ func BenchmarkFig15Accuracy(b *testing.B) {
 
 func BenchmarkAblationCategory(b *testing.B) {
 	ctx := ctxForBench(b)
+	var last *experiments.CategoryAblationResult
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.CategoryAblation(ctx); err != nil {
+		r, err := experiments.CategoryAblation(ctx)
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = r
+	}
+	if last != nil && len(last.Rows) > 0 {
+		var cat float64
+		for _, row := range last.Rows {
+			cat += row.CategoryAcc
+		}
+		b.ReportMetric(100*cat/float64(len(last.Rows)), "mean-category-accuracy-%")
 	}
 }
 
 func BenchmarkAblationRedundancy(b *testing.B) {
 	ctx := ctxForBench(b)
+	var last *experiments.RedundancyAblationResult
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RedundancyAblation(ctx); err != nil {
+		r, err := experiments.RedundancyAblation(ctx)
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = r
+	}
+	if last != nil && len(last.Rows) > 0 {
+		b.ReportMetric(100*last.Rows[0].FPSRatio, "adaptive-fps-%")
 	}
 }
 
 func BenchmarkAblationLoadingSteal(b *testing.B) {
 	ctx := ctxForBench(b)
+	var last *experiments.StealAblationResult
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.LoadingStealAblation(ctx); err != nil {
+		r, err := experiments.LoadingStealAblation(ctx)
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(last.StolenSec, "stolen-sec")
 	}
 }
 
 func BenchmarkAblationFrameInterval(b *testing.B) {
 	ctx := ctxForBench(b)
+	var last *experiments.IntervalAblationResult
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.FrameIntervalAblation(ctx); err != nil {
+		r, err := experiments.FrameIntervalAblation(ctx)
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(float64(len(last.Rows)), "intervals")
 	}
 }
 
 func BenchmarkAblationClustering(b *testing.B) {
 	ctx := ctxForBench(b)
+	var n int
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.GraphPartitionAblation(ctx); err != nil {
+		rows, err := experiments.GraphPartitionAblation(ctx)
+		if err != nil {
 			b.Fatal(err)
 		}
+		n = len(rows)
 	}
+	b.ReportMetric(float64(n), "games-compared")
 }
 
 func BenchmarkScaleOut(b *testing.B) {
@@ -257,28 +329,52 @@ func BenchmarkScaleOut(b *testing.B) {
 
 func BenchmarkOnlineLearning(b *testing.B) {
 	ctx := ctxForBench(b)
+	var last *experiments.OnlineLearningResult
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.OnlineLearning(ctx); err != nil {
+		r, err := experiments.OnlineLearning(ctx)
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = r
+	}
+	if last != nil {
+		b.ReportMetric(100*last.WarmAccuracy, "warm-accuracy-%")
 	}
 }
 
 func BenchmarkAblationPlacement(b *testing.B) {
 	ctx := ctxForBench(b)
+	var last *experiments.PlacementAblationResult
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.PlacementAblation(ctx); err != nil {
+		r, err := experiments.PlacementAblation(ctx)
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = r
+	}
+	if last != nil && len(last.Rows) > 0 {
+		b.ReportMetric(last.Rows[0].Throughput, "best-fit-throughput")
 	}
 }
 
 func BenchmarkPairMatrix(b *testing.B) {
 	ctx := ctxForBench(b)
+	var last *experiments.PairMatrixResult
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.PairMatrix(ctx); err != nil {
+		r, err := experiments.PairMatrix(ctx)
+		if err != nil {
 			b.Fatal(err)
 		}
+		last = r
+	}
+	if last != nil {
+		var co int
+		for _, row := range last.Rows {
+			if row.CoLocated {
+				co++
+			}
+		}
+		b.ReportMetric(float64(co), "colocated-pairs")
 	}
 }
 
@@ -313,6 +409,7 @@ func benchPoints(n int) []resources.Vector {
 
 func benchKMeans(b *testing.B, workers int) {
 	pts := benchPoints(8192)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cluster.KMeans(pts, cluster.Config{K: 6, Seed: 7, Workers: workers}); err != nil {
@@ -348,6 +445,7 @@ func benchTrainingSet(b *testing.B, n int) *mlmodels.Dataset {
 
 func benchForest(b *testing.B, workers int) {
 	ds := benchTrainingSet(b, 2000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := mlmodels.NewRandomForest(mlmodels.ForestConfig{NumTrees: 40, Seed: 3, Workers: workers})
@@ -362,6 +460,7 @@ func BenchmarkForestTrainWorkersMax(b *testing.B) { benchForest(b, 0) }
 
 func benchGBDT(b *testing.B, workers int) {
 	ds := benchTrainingSet(b, 2000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g := mlmodels.NewGBDT(mlmodels.GBDTConfig{NumRounds: 20, Seed: 3, Workers: workers})

@@ -1,0 +1,246 @@
+// Command cocg-bench records a machine-readable benchmark trajectory for the
+// repository's hot paths. It runs the selected `go test -bench` benchmarks
+// with allocation reporting, parses the standard benchmark output, and writes
+// a JSON record (ns/op, B/op, allocs/op, and any custom per-op metrics for
+// every benchmark, plus commit/toolchain metadata) so each performance PR can
+// check a before/after snapshot into the repo root.
+//
+// Usage:
+//
+//	cocg-bench [-bench regex] [-pkgs pattern] [-count N] [-benchtime D]
+//	           [-baseline old.json] -out BENCH_PRn.json
+//
+// The -baseline flag embeds the "benchmarks" section of a previous record
+// under "baseline" in the new file, so a single artifact carries the
+// before/after pair. See docs/PERFORMANCE.md for the workflow.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one benchmark's parsed per-op numbers.
+type BenchResult struct {
+	Pkg         string             `json:"pkg"`
+	Procs       int                `json:"procs"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Record is the file format: metadata plus a name-keyed benchmark map, with
+// an optional embedded baseline from a previous record.
+type Record struct {
+	Schema     string                 `json:"schema"`
+	Recorded   string                 `json:"recorded"`
+	Commit     string                 `json:"commit"`
+	Dirty      bool                   `json:"dirty"`
+	GoVersion  string                 `json:"go"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	BenchSeed  int64                  `json:"bench_seed"`
+	Bench      string                 `json:"bench"`
+	Baseline   map[string]BenchResult `json:"baseline,omitempty"`
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+}
+
+func main() {
+	bench := flag.String("bench", "Predict|KMeans|KNN", "benchmark name regex passed to go test -bench")
+	pkgs := flag.String("pkgs", "./...", "package pattern to benchmark")
+	count := flag.Int("count", 1, "go test -count")
+	benchtime := flag.String("benchtime", "", "go test -benchtime (empty = go default)")
+	baseline := flag.String("baseline", "", "previous record to embed under \"baseline\"")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",
+		"-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		args = append(args, "-benchtime", *benchtime)
+	}
+	args = append(args, *pkgs)
+
+	fmt.Fprintf(os.Stderr, "cocg-bench: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	output, err := cmd.Output()
+	_, _ = os.Stdout.Write(output) // echo for the operator; parse errors dominate
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cocg-bench: go test: %v\n", err)
+		os.Exit(1)
+	}
+
+	rec := &Record{
+		Schema:     "cocg-bench/v1",
+		Recorded:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchSeed:  1, // the fixed seed the bench fixtures train with
+		Bench:      *bench,
+		Benchmarks: parseBenchOutput(string(output)),
+	}
+	rec.Commit, rec.Dirty = gitState()
+	if len(rec.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "cocg-bench: no benchmarks matched %q\n", *bench)
+		os.Exit(1)
+	}
+	if *baseline != "" {
+		prev, err := readRecord(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cocg-bench: baseline: %v\n", err)
+			os.Exit(1)
+		}
+		rec.Baseline = prev.Benchmarks
+	}
+
+	blob, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cocg-bench: %v\n", err)
+		os.Exit(1)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "cocg-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "cocg-bench: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
+	printDeltas(rec)
+}
+
+// parseBenchOutput extracts per-benchmark numbers from `go test -bench`
+// stdout. Benchmarks are keyed "pkg:Name" (GOMAXPROCS suffix stripped) so
+// identically named benchmarks in different packages cannot collide. When
+// -count > 1 repeats a benchmark, the fastest ns/op run wins (minimum-noise
+// estimate); allocation stats are identical across repeats by construction.
+func parseBenchOutput(out string) map[string]BenchResult {
+	results := map[string]BenchResult{}
+	pkg := ""
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == "pkg:" {
+			pkg = fields[1]
+			continue
+		}
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name, procs := splitProcs(fields[0])
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := BenchResult{Pkg: pkg, Procs: procs, Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[fields[i+1]] = v
+			}
+		}
+		key := shortPkg(pkg) + ":" + name
+		if prev, ok := results[key]; !ok || r.NsPerOp < prev.NsPerOp {
+			results[key] = r
+		}
+	}
+	return results
+}
+
+// splitProcs strips the -N GOMAXPROCS suffix from a benchmark name.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil {
+		return name, 1
+	}
+	return name[:i], n
+}
+
+// shortPkg trims the module prefix so keys read "internal/mlmodels" rather
+// than "cocg/internal/mlmodels", and the bare module package reads "root".
+func shortPkg(pkg string) string {
+	const module = "cocg"
+	if pkg == module {
+		return "root"
+	}
+	return strings.TrimPrefix(pkg, module+"/")
+}
+
+// gitState reports the current commit (short hash) and whether the tree is
+// dirty; both degrade gracefully outside a git checkout.
+func gitState() (string, bool) {
+	rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown", false
+	}
+	status, err := exec.Command("git", "status", "--porcelain").Output()
+	if err != nil {
+		return strings.TrimSpace(string(rev)), false
+	}
+	return strings.TrimSpace(string(rev)), len(strings.TrimSpace(string(status))) > 0
+}
+
+// readRecord loads a previous benchmark record.
+func readRecord(path string) (*Record, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+// printDeltas summarizes current-vs-baseline movement for benchmarks present
+// in both sections.
+func printDeltas(rec *Record) {
+	if len(rec.Baseline) == 0 {
+		return
+	}
+	names := make([]string, 0, len(rec.Benchmarks))
+	for name := range rec.Benchmarks {
+		if _, ok := rec.Baseline[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cur, base := rec.Benchmarks[name], rec.Baseline[name]
+		if base.NsPerOp <= 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "  %-48s ns/op %10.0f -> %10.0f (%+.1f%%)  allocs/op %6.0f -> %6.0f\n",
+			name, base.NsPerOp, cur.NsPerOp, 100*(cur.NsPerOp-base.NsPerOp)/base.NsPerOp,
+			base.AllocsPerOp, cur.AllocsPerOp)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"cocg/internal/cluster"
 	"cocg/internal/gamesim"
 	"cocg/internal/profiler"
+	"cocg/internal/profiling"
 	"cocg/internal/resources"
 	"cocg/internal/simclock"
 	"cocg/internal/tracefile"
@@ -30,37 +31,47 @@ func main() {
 	sweep := flag.Bool("sweep", false, "print the SSE-vs-K sweep (Fig. 14)")
 	specPath := flag.String("spec", "", "profile a custom game described by this JSON spec file instead of a built-in game")
 	saveTraces := flag.String("save-traces", "", "also save the recorded traces into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, perr := profiling.Start(*cpuProfile, *memProfile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+		os.Exit(1)
+	}
+	// die stops the profilers (so partial profiles still flush) and exits.
+	die := func(code int, v any) {
+		fmt.Fprintln(os.Stderr, v)
+		_ = stopProfiles()
+		os.Exit(code)
+	}
 
 	var spec *gamesim.GameSpec
 	var err error
 	if *specPath != "" {
 		f, ferr := os.Open(*specPath)
 		if ferr != nil {
-			fmt.Fprintln(os.Stderr, ferr)
-			os.Exit(2)
+			die(2, ferr)
 		}
 		spec, err = gamesim.LoadSpec(f)
 		_ = f.Close() // read-only file; a LoadSpec error dominates
 	} else {
 		name := strings.Join(flag.Args(), " ")
 		if name == "" {
-			fmt.Fprintln(os.Stderr, "usage: cocg-profile [flags] <game>  (or -spec file.json)")
-			os.Exit(2)
+			die(2, "usage: cocg-profile [flags] <game>  (or -spec file.json)")
 		}
 		spec, err = gamesim.GameByName(name)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		die(2, err)
 	}
 
 	fmt.Printf("profiling %s (%s, %d scripts, %d players per script)\n",
 		spec.Name, spec.Category, len(spec.Scripts), *players)
 	traces, err := gamesim.RecordCorpus(spec, *players, *seed)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(1, err)
 	}
 	var frameCount int
 	for _, tr := range traces {
@@ -71,8 +82,7 @@ func main() {
 	if *saveTraces != "" {
 		paths, err := tracefile.SaveAll(traces, *saveTraces)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			die(1, err)
 		}
 		fmt.Printf("saved %d trace files under %s\n", len(paths), *saveTraces)
 	}
@@ -84,8 +94,7 @@ func main() {
 		}
 		curve, err := cluster.Sweep(frames, 8, *seed, 0)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			die(1, err)
 		}
 		fmt.Println("\nSSE sweep (Fig. 14):")
 		for _, p := range curve {
@@ -96,8 +105,7 @@ func main() {
 
 	prof, err := profiler.Build(traces, profiler.Config{K: *k, Seed: *seed})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(1, err)
 	}
 	fmt.Printf("\nframe clusters (K=%d, loading cluster %d):\n", prof.Clusters.K(), prof.LoadingClusterID)
 	for i, c := range prof.Clusters.Centroids {
@@ -118,4 +126,8 @@ func main() {
 			s.MeanDurFrames*float64(simclock.FrameLen), s.Peak)
 	}
 	fmt.Printf("\ngame peak demand M: %s\n", prof.PeakDemand())
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

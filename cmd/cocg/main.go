@@ -32,6 +32,7 @@ import (
 	"cocg/internal/experiments"
 	"cocg/internal/export"
 	"cocg/internal/parallel"
+	"cocg/internal/profiling"
 )
 
 type runner func(*experiments.Context) (fmt.Stringer, error)
@@ -110,6 +111,8 @@ func main() {
 	charts := flag.Bool("charts", true, "render ASCII charts for figure series")
 	jobs := flag.Int("jobs", defaultJobs(),
 		"max concurrent experiment jobs and training workers; results do not depend on it (flag beats COCG_JOBS env, which beats the CPU-count default)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -133,13 +136,24 @@ func main() {
 		}
 	}
 
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cocg: %v\n", err)
+		os.Exit(1)
+	}
+	// fail stops the profilers (so partial profiles still flush) and exits.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format, args...)
+		_ = stopProfiles()
+		os.Exit(1)
+	}
+
 	start := time.Now()
 	fmt.Printf("CoCG experiment driver (seed=%d fast=%v jobs=%d)\n", *seed, *fast, parallel.Workers(*jobs))
 	fmt.Println("training the five-game system (offline pass)...")
 	ctx, err := experiments.NewContext(experiments.Options{Seed: *seed, Fast: *fast, Jobs: *jobs})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cocg: %v\n", err)
-		os.Exit(1)
+		fail("cocg: %v\n", err)
 	}
 	fmt.Printf("trained in %v\n\n", time.Since(start).Round(time.Millisecond))
 
@@ -175,13 +189,16 @@ func main() {
 		jr := results[i]
 		<-jr.done
 		if jr.err != nil {
-			fmt.Fprintf(os.Stderr, "cocg: %s: %v\n", t, jr.err)
-			os.Exit(1)
+			fail("cocg: %s: %v\n", t, jr.err)
 		}
 		fmt.Printf("=== %s (%v) ===\n%s\n", t, jr.took.Round(time.Millisecond), jr.res)
 		emitSeries(jr.res, *charts, *csvDir)
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "cocg: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // emitSeries renders and/or saves the raw series behind plotted figures.

@@ -86,6 +86,51 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
+// kmScratch holds every buffer the restart and Lloyd-iteration loops reuse.
+// One scratch is allocated per KMeans call; restarts and iterations then run
+// allocation-free, which matters because the profiler re-clusters every
+// game's frame cloud and the Fig. 14 sweep runs K-means once per candidate K.
+// Buffer reuse never changes results: each consumer fully reinitializes the
+// region it reads (assign is reset per restart, per-chunk partials are zeroed
+// per iteration, d2 is overwritten by the first seeding pass).
+type kmScratch struct {
+	assign       []int                // current restart's point -> cluster
+	chunkChanged []bool               // per-chunk assignment-change flags
+	chunkSums    [][]resources.Vector // per-chunk partial centroid sums
+	chunkCounts  [][]int              // per-chunk partial cluster sizes
+	mergeSums    []resources.Vector   // chunk-order merge of chunkSums
+	mergeCounts  []int                // chunk-order merge of chunkCounts
+	d2           []float64            // k-means++ D² weights
+	centroids    []resources.Vector   // current restart's working centroids
+	ssePartial   []float64            // per-chunk SSE partials
+	// bestAssign/bestCentroids snapshot the best restart so far; they are
+	// the only buffers that outlive the call, as the returned Result.
+	bestAssign    []int
+	bestCentroids []resources.Vector
+}
+
+func newKMScratch(n, k int) *kmScratch {
+	nChunks := parallel.NumChunks(n)
+	s := &kmScratch{
+		assign:        make([]int, n),
+		chunkChanged:  make([]bool, nChunks),
+		chunkSums:     make([][]resources.Vector, nChunks),
+		chunkCounts:   make([][]int, nChunks),
+		mergeSums:     make([]resources.Vector, k),
+		mergeCounts:   make([]int, k),
+		d2:            make([]float64, n),
+		centroids:     make([]resources.Vector, 0, k),
+		ssePartial:    make([]float64, nChunks),
+		bestAssign:    make([]int, n),
+		bestCentroids: make([]resources.Vector, k),
+	}
+	for c := range s.chunkSums {
+		s.chunkSums[c] = make([]resources.Vector, k)
+		s.chunkCounts[c] = make([]int, k)
+	}
+	return s
+}
+
 // KMeans clusters points into cfg.K clusters and returns the best result over
 // cfg.Restarts independent k-means++ initializations.
 func KMeans(points []resources.Vector, cfg Config) (*Result, error) {
@@ -101,53 +146,79 @@ func KMeans(points []resources.Vector, cfg Config) (*Result, error) {
 		k = len(points)
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
-	var best *Result
+	scratch := newKMScratch(len(points), k)
+	best := &Result{}
+	have := false
 	for r := 0; r < c.Restarts; r++ {
-		res := lloyd(points, k, c.MaxIter, c.Workers, rng)
-		if best == nil || res.SSE < best.SSE {
-			best = res
+		sse, iterations := lloyd(points, k, c.MaxIter, c.Workers, rng, scratch)
+		if !have || sse < best.SSE {
+			have = true
+			best.SSE = sse
+			best.Iterations = iterations
+			copy(scratch.bestAssign, scratch.assign)
+			copy(scratch.bestCentroids, scratch.centroids)
 		}
 	}
+	best.Assign = scratch.bestAssign
+	best.Centroids = scratch.bestCentroids
 	sortCentroids(best)
 	return best, nil
 }
 
-// lloyd runs one k-means++ initialization followed by Lloyd iterations. The
-// assignment and centroid-update steps fan out over fixed-size point chunks;
-// per-chunk partial sums are merged in chunk order, so the floating-point
-// result is identical at every worker count.
-func lloyd(points []resources.Vector, k, maxIter, workers int, rng *rand.Rand) *Result {
-	centroids := seedPlusPlus(points, k, rng)
-	assign := make([]int, len(points))
+// lloyd runs one k-means++ initialization followed by Lloyd iterations,
+// leaving the final assignment and centroids in the scratch. The assignment
+// and centroid-update steps fan out over fixed-size point chunks; per-chunk
+// partial sums are merged in chunk order, so the floating-point result is
+// identical at every worker count.
+func lloyd(points []resources.Vector, k, maxIter, workers int, rng *rand.Rand, s *kmScratch) (sse float64, iterations int) {
+	centroids := seedPlusPlus(points, k, rng, s)
+	assign := s.assign
 	for i := range assign {
 		assign[i] = -1
 	}
-	nChunks := parallel.NumChunks(len(points))
-	chunkChanged := make([]bool, nChunks)
-	chunkSums := make([][]resources.Vector, nChunks)
-	chunkCounts := make([][]int, nChunks)
-	var iterations int
-	for iter := 0; iter < maxIter; iter++ {
-		iterations = iter + 1
-		parallel.ForChunks(workers, len(points), func(chunk, lo, hi int) {
-			changed := false
-			for i := lo; i < hi; i++ {
-				p := points[i]
-				best, bestD := 0, math.Inf(1)
-				for c, cent := range centroids {
-					if d := p.Dist2(cent); d < bestD {
-						best, bestD = c, d
-					}
-				}
-				if assign[i] != best {
-					assign[i] = best
-					changed = true
+	n := len(points)
+	nChunks := parallel.NumChunks(n)
+	// The chunk bodies are built once per restart, not once per iteration:
+	// closures handed to parallel.For escape to the heap, so constructing
+	// them inside the Lloyd loop would allocate on every iteration. The
+	// bounds come from parallel.ChunkBounds, so the decomposition (and
+	// therefore the merge order) is exactly what ForChunks would produce.
+	assignBody := func(chunk int) {
+		lo, hi := parallel.ChunkBounds(chunk, n)
+		changed := false
+		for i := lo; i < hi; i++ {
+			p := points[i]
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := p.Dist2(cent); d < bestD {
+					best, bestD = c, d
 				}
 			}
-			chunkChanged[chunk] = changed
-		})
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		s.chunkChanged[chunk] = changed
+	}
+	updateBody := func(chunk int) {
+		lo, hi := parallel.ChunkBounds(chunk, n)
+		sums := s.chunkSums[chunk]
+		counts := s.chunkCounts[chunk]
+		for c := range sums {
+			sums[c] = resources.Vector{}
+			counts[c] = 0
+		}
+		for i := lo; i < hi; i++ {
+			sums[assign[i]] = sums[assign[i]].Add(points[i])
+			counts[assign[i]]++
+		}
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		iterations = iter + 1
+		parallel.For(workers, nChunks, assignBody)
 		changed := false
-		for _, c := range chunkChanged {
+		for _, c := range s.chunkChanged {
 			changed = changed || c
 		}
 		if !changed {
@@ -155,31 +226,17 @@ func lloyd(points []resources.Vector, k, maxIter, workers int, rng *rand.Rand) *
 		}
 		// Recompute centroids; an emptied cluster keeps its old center,
 		// which is the standard fix and keeps K stable.
-		parallel.ForChunks(workers, len(points), func(chunk, lo, hi int) {
-			sums := chunkSums[chunk]
-			counts := chunkCounts[chunk]
-			if sums == nil {
-				sums = make([]resources.Vector, k)
-				counts = make([]int, k)
-				chunkSums[chunk] = sums
-				chunkCounts[chunk] = counts
-			} else {
-				for c := range sums {
-					sums[c] = resources.Vector{}
-					counts[c] = 0
-				}
-			}
-			for i := lo; i < hi; i++ {
-				sums[assign[i]] = sums[assign[i]].Add(points[i])
-				counts[assign[i]]++
-			}
-		})
-		sums := make([]resources.Vector, k)
-		counts := make([]int, k)
+		parallel.For(workers, nChunks, updateBody)
+		sums := s.mergeSums
+		counts := s.mergeCounts
+		for c := 0; c < k; c++ {
+			sums[c] = resources.Vector{}
+			counts[c] = 0
+		}
 		for chunk := 0; chunk < nChunks; chunk++ {
 			for c := 0; c < k; c++ {
-				sums[c] = sums[c].Add(chunkSums[chunk][c])
-				counts[c] += chunkCounts[chunk][c]
+				sums[c] = sums[c].Add(s.chunkSums[chunk][c])
+				counts[c] += s.chunkCounts[chunk][c]
 			}
 		}
 		for c := range centroids {
@@ -188,21 +245,23 @@ func lloyd(points []resources.Vector, k, maxIter, workers int, rng *rand.Rand) *
 			}
 		}
 	}
-	res := &Result{Centroids: centroids, Assign: assign, Iterations: iterations}
-	res.SSE = sse(points, centroids, assign, workers)
-	return res
+	return sseInto(points, centroids, assign, workers, s.ssePartial), iterations
 }
 
-// seedPlusPlus picks k initial centers with the k-means++ D² weighting.
-func seedPlusPlus(points []resources.Vector, k int, rng *rand.Rand) []resources.Vector {
-	centroids := make([]resources.Vector, 0, k)
+// seedPlusPlus picks k initial centers with the k-means++ D² weighting,
+// reusing the scratch's centroid and weight buffers. The RNG draw sequence
+// is identical to a fresh-buffer run.
+func seedPlusPlus(points []resources.Vector, k int, rng *rand.Rand, s *kmScratch) []resources.Vector {
+	centroids := s.centroids[:0]
 	centroids = append(centroids, points[rng.Intn(len(points))])
-	d2 := make([]float64, len(points))
+	d2 := s.d2
 	for len(centroids) < k {
 		var total float64
 		last := centroids[len(centroids)-1]
 		for i, p := range points {
 			d := p.Dist2(last)
+			// The first pass overwrites d2 unconditionally, so stale weights
+			// from a previous restart never leak in.
 			if len(centroids) == 1 || d < d2[i] {
 				d2[i] = d
 			}
@@ -225,13 +284,14 @@ func seedPlusPlus(points []resources.Vector, k int, rng *rand.Rand) []resources.
 		}
 		centroids = append(centroids, points[chosen])
 	}
+	s.centroids = centroids
 	return centroids
 }
 
-// sse reduces the sum of squared distances over fixed-size chunks, merging
-// partials in chunk order so the result is worker-count independent.
-func sse(points, centroids []resources.Vector, assign []int, workers int) float64 {
-	partial := make([]float64, parallel.NumChunks(len(points)))
+// sseInto reduces the sum of squared distances over fixed-size chunks into
+// the provided partials buffer, merging in chunk order so the result is
+// worker-count independent.
+func sseInto(points, centroids []resources.Vector, assign []int, workers int, partial []float64) float64 {
 	parallel.ForChunks(workers, len(points), func(chunk, lo, hi int) {
 		var s float64
 		for i := lo; i < hi; i++ {

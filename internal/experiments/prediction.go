@@ -50,6 +50,10 @@ func Fig15(ctx *Context) (*Fig15Result, error) {
 		}
 		correct := map[string]float64{}
 		total := 0
+		// One evaluation scratch per game goroutine: every model and group
+		// scores through the batch-predict path over the same reused
+		// buffers.
+		var scratch mlmodels.EvalScratch
 		for gi, grp := range groups {
 			if len(grp.Transitions) < minGroup(ctx) {
 				continue
@@ -68,7 +72,7 @@ func Fig15(ctx *Context) (*Fig15Result, error) {
 				return
 			}
 			for _, m := range models {
-				acc, err := mlmodels.Evaluate(m, test)
+				acc, err := scratch.Evaluate(m, test)
 				if err != nil {
 					errs[g] = err
 					return
@@ -157,6 +161,7 @@ func strategyAccuracy(ctx *Context, corpus []*gamesim.Trace, ex *dataset.Extract
 	groups := dataset.Select(strategy, ex, corpus)
 	var correct float64
 	total := 0
+	var scratch mlmodels.EvalScratch
 	for gi, g := range groups {
 		if len(g.Transitions) < minGroup(ctx) {
 			continue
@@ -173,7 +178,7 @@ func strategyAccuracy(ctx *Context, corpus []*gamesim.Trace, ex *dataset.Extract
 		if err := m.Fit(train); err != nil {
 			return 0, err
 		}
-		acc, err := mlmodels.Evaluate(m, test)
+		acc, err := scratch.Evaluate(m, test)
 		if err != nil {
 			return 0, err
 		}

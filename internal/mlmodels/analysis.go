@@ -13,7 +13,8 @@ type ConfusionMatrix struct {
 	Counts  [][]int // Counts[true][pred]
 }
 
-// Confusion evaluates the classifier on the dataset and returns the matrix.
+// Confusion evaluates the classifier on the dataset and returns the matrix;
+// prediction goes through the batch path when the model has one.
 func Confusion(c Classifier, test *Dataset) (*ConfusionMatrix, error) {
 	if test.Len() == 0 {
 		return nil, ErrEmptyDataset
@@ -23,11 +24,13 @@ func Confusion(c Classifier, test *Dataset) (*ConfusionMatrix, error) {
 	for i := range m.Counts {
 		m.Counts[i] = make([]int, n)
 	}
-	for _, s := range test.Samples {
-		got, err := c.Predict(s.Features)
-		if err != nil {
-			return nil, err
-		}
+	var scratch EvalScratch
+	preds, err := scratch.Predict(c, test)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range test.Samples {
+		got := preds[i]
 		if got < 0 || got >= n {
 			return nil, fmt.Errorf("mlmodels: prediction %d out of class range", got)
 		}
@@ -94,7 +97,8 @@ func FeatureImportance(c Classifier, test *Dataset, seed int64) ([]float64, erro
 	if test.Len() == 0 {
 		return nil, ErrEmptyDataset
 	}
-	base, err := Evaluate(c, test)
+	var scratch EvalScratch
+	base, err := scratch.Evaluate(c, test)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +115,7 @@ func FeatureImportance(c Classifier, test *Dataset, seed int64) ([]float64, erro
 			shuffled[i] = Sample{Features: feat, Label: s.Label}
 		}
 		ds := &Dataset{Samples: shuffled, NumFeatures: test.NumFeatures, NumClasses: test.NumClasses}
-		acc, err := Evaluate(c, ds)
+		acc, err := scratch.Evaluate(c, ds)
 		if err != nil {
 			return nil, err
 		}
@@ -146,6 +150,7 @@ func CrossValidate(mk func() Classifier, ds *Dataset, k int, seed int64) (*CVRes
 	}
 	idx := rand.New(rand.NewSource(seed)).Perm(ds.Len())
 	res := &CVResult{Folds: k}
+	var scratch EvalScratch
 	for fold := 0; fold < k; fold++ {
 		var train, test []Sample
 		for i, j := range idx {
@@ -161,7 +166,7 @@ func CrossValidate(mk func() Classifier, ds *Dataset, k int, seed int64) (*CVRes
 		if err := m.Fit(trainDS); err != nil {
 			return nil, err
 		}
-		acc, err := Evaluate(m, testDS)
+		acc, err := scratch.Evaluate(m, testDS)
 		if err != nil {
 			return nil, err
 		}

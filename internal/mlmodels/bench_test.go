@@ -1,0 +1,136 @@
+package mlmodels
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchFixture is the shared prediction-benchmark setup: one fitted model per
+// algorithm over a dataset shaped like the stage-transition features the
+// online loop feeds the ensembles (8 features, 5 stage classes).
+type benchFixture struct {
+	ds  *Dataset
+	xs  [][]float64
+	dtc *DecisionTree
+	rf  *RandomForest
+	gb  *GBDT
+	knn *KNN
+}
+
+// newBenchFixture trains the fixture; seeds are fixed so every run (and every
+// recorded trajectory) measures the same models on the same queries.
+func newBenchFixture(b *testing.B) *benchFixture {
+	b.Helper()
+	r := rand.New(rand.NewSource(9))
+	n := 2000
+	samples := make([]Sample, n)
+	for i := range samples {
+		f := make([]float64, 8)
+		score := 0.0
+		for d := range f {
+			f[d] = r.Float64()
+			score += f[d] * float64(d%3)
+		}
+		samples[i] = Sample{Features: f, Label: int(score+r.Float64()) % 5}
+	}
+	ds, err := NewDataset(samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fx := &benchFixture{
+		ds:  ds,
+		dtc: NewDecisionTree(TreeConfig{Seed: 1}),
+		rf:  NewRandomForest(ForestConfig{NumTrees: 40, Seed: 1}),
+		gb:  NewGBDT(GBDTConfig{NumRounds: 40, Seed: 1}),
+		knn: NewKNN(5),
+	}
+	for _, m := range []Classifier{fx.dtc, fx.rf, fx.gb, fx.knn} {
+		if err := m.Fit(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fx.xs = make([][]float64, len(ds.Samples))
+	for i, s := range ds.Samples {
+		fx.xs[i] = s.Features
+	}
+	return fx
+}
+
+// benchPredict measures steady-state per-call Predict over rotating queries.
+func benchPredict(b *testing.B, fx *benchFixture, m Classifier) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(fx.xs[i%len(fx.xs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDTCPredict(b *testing.B)  { fx := newBenchFixture(b); benchPredict(b, fx, fx.dtc) }
+func BenchmarkRFPredict(b *testing.B)   { fx := newBenchFixture(b); benchPredict(b, fx, fx.rf) }
+func BenchmarkGBDTPredict(b *testing.B) { fx := newBenchFixture(b); benchPredict(b, fx, fx.gb) }
+func BenchmarkKNNPredict(b *testing.B)  { fx := newBenchFixture(b); benchPredict(b, fx, fx.knn) }
+
+// benchPredictFn measures a raw prediction function (the pointer-walk
+// reference paths); comparing against the flat benchmarks above quantifies
+// what the contiguous layout buys on the same queries.
+func benchPredictFn(b *testing.B, fx *benchFixture, fn func(x []float64) int) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(fx.xs[i%len(fx.xs)])
+	}
+}
+
+func BenchmarkDTCPredictPointer(b *testing.B) {
+	fx := newBenchFixture(b)
+	benchPredictFn(b, fx, fx.dtc.predictPointer)
+}
+
+func BenchmarkRFPredictPointer(b *testing.B) {
+	fx := newBenchFixture(b)
+	benchPredictFn(b, fx, fx.rf.predictPointer)
+}
+
+func BenchmarkGBDTPredictPointer(b *testing.B) {
+	fx := newBenchFixture(b)
+	benchPredictFn(b, fx, fx.gb.predictPointer)
+}
+
+// benchPredictBatch measures PredictBatch over the full query matrix and
+// reports the amortized per-row cost as a custom metric.
+func benchPredictBatch(b *testing.B, fx *benchFixture, m BatchPredictor) {
+	b.Helper()
+	b.ReportAllocs()
+	out := make([]int, len(fx.xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.PredictBatch(fx.xs, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(fx.xs)), "ns/row")
+}
+
+func BenchmarkDTCPredictBatch(b *testing.B) {
+	fx := newBenchFixture(b)
+	benchPredictBatch(b, fx, fx.dtc)
+}
+
+func BenchmarkRFPredictBatch(b *testing.B) {
+	fx := newBenchFixture(b)
+	benchPredictBatch(b, fx, fx.rf)
+}
+
+func BenchmarkGBDTPredictBatch(b *testing.B) {
+	fx := newBenchFixture(b)
+	benchPredictBatch(b, fx, fx.gb)
+}
+
+func BenchmarkKNNPredictBatch(b *testing.B) {
+	fx := newBenchFixture(b)
+	benchPredictBatch(b, fx, fx.knn)
+}

@@ -106,22 +106,71 @@ type Classifier interface {
 }
 
 // Evaluate returns the fraction of test samples the classifier labels
-// correctly.
+// correctly. Callers that evaluate in a loop should reuse an EvalScratch.
 func Evaluate(c Classifier, test *Dataset) (float64, error) {
+	var s EvalScratch
+	return s.Evaluate(c, test)
+}
+
+// EvalScratch holds the reusable buffers of repeated evaluations (the batch
+// view of the samples and the prediction output), so scoring many models or
+// many splits in a loop does not re-allocate per call. The zero value is
+// ready to use; a scratch must not be shared between goroutines.
+type EvalScratch struct {
+	xs  [][]float64
+	out []int
+}
+
+// Evaluate scores the classifier on the test set, using its native batch
+// path when it has one. Results are identical to per-sample Predict calls.
+func (s *EvalScratch) Evaluate(c Classifier, test *Dataset) (float64, error) {
 	if test.Len() == 0 {
 		return 0, ErrEmptyDataset
 	}
+	preds, err := s.Predict(c, test)
+	if err != nil {
+		return 0, err
+	}
 	correct := 0
-	for _, s := range test.Samples {
-		got, err := c.Predict(s.Features)
-		if err != nil {
-			return 0, err
-		}
-		if got == s.Label {
+	for i, smp := range test.Samples {
+		if preds[i] == smp.Label {
 			correct++
 		}
 	}
 	return float64(correct) / float64(test.Len()), nil
+}
+
+// Predict fills and returns the scratch's prediction buffer with c's label
+// for every sample, through PredictBatch when c implements BatchPredictor
+// and per-call Predict otherwise. The returned slice is valid until the next
+// use of the scratch.
+func (s *EvalScratch) Predict(c Classifier, ds *Dataset) ([]int, error) {
+	n := ds.Len()
+	if cap(s.out) < n {
+		s.out = make([]int, n)
+	}
+	out := s.out[:n]
+	if bp, ok := c.(BatchPredictor); ok {
+		if cap(s.xs) < n {
+			s.xs = make([][]float64, n)
+		}
+		xs := s.xs[:n]
+		for i, smp := range ds.Samples {
+			xs[i] = smp.Features
+		}
+		if err := bp.PredictBatch(xs, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	for i, smp := range ds.Samples {
+		p, err := c.Predict(smp.Features)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
 }
 
 // majorityLabel returns the most frequent label among idx rows of samples.

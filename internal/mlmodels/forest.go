@@ -30,8 +30,12 @@ func (c ForestConfig) withDefaults() ForestConfig {
 // RandomForest is the paper's RF predictor: bagged CART trees with random
 // feature subsets at every split, majority vote at prediction time.
 type RandomForest struct {
-	cfg    ForestConfig
+	cfg ForestConfig
+	// trees holds the pointer trees (serialization source of truth);
+	// prediction walks the shared flat arena instead.
 	trees  []*treeNode
+	flat   []flatNode // all member trees compiled contiguously
+	roots  []int32    // arena offset of each member tree's root
 	nfeat  int
 	nclass int
 	fitted bool
@@ -148,13 +152,15 @@ func (f *RandomForest) Fit(ds *Dataset) error {
 	} else {
 		f.oob = -1
 	}
+	f.flat, f.roots = compileForest(f.trees)
 	f.nfeat = ds.NumFeatures
 	f.nclass = ds.NumClasses
 	f.fitted = true
 	return nil
 }
 
-// Predict implements Classifier by majority vote over the trees.
+// Predict implements Classifier by majority vote over the trees. Votes
+// accumulate in a fixed stack buffer, so a call allocates nothing.
 func (f *RandomForest) Predict(x []float64) (int, error) {
 	if !f.fitted {
 		return 0, ErrNotFitted
@@ -162,6 +168,63 @@ func (f *RandomForest) Predict(x []float64) (int, error) {
 	if len(x) != f.nfeat {
 		return 0, ErrBadFeatureLen
 	}
+	var buf [scratchClasses]int
+	votes := voteScratch(buf[:], f.nclass)
+	return f.vote(x, votes), nil
+}
+
+// PredictBatch implements BatchPredictor: one vote buffer serves the whole
+// batch, so steady-state batch prediction does zero allocation.
+func (f *RandomForest) PredictBatch(xs [][]float64, out []int) error {
+	if err := checkBatch(f.fitted, xs, out); err != nil {
+		return err
+	}
+	var buf [scratchClasses]int
+	votes := voteScratch(buf[:], f.nclass)
+	for i, x := range xs {
+		if len(x) != f.nfeat {
+			return ErrBadFeatureLen
+		}
+		for c := range votes {
+			votes[c] = 0
+		}
+		out[i] = f.vote(x, votes)
+	}
+	return nil
+}
+
+// vote casts every member tree's flat-walk vote into votes (zeroed,
+// nclass-long) and returns the winning class; ties break toward the lower
+// class ID, exactly like the pointer-tree implementation did.
+func (f *RandomForest) vote(x []float64, votes []int) int {
+	for _, r := range f.roots {
+		votes[flatLeaf(f.flat, r, x).label]++
+	}
+	best, bestN := 0, -1
+	for c, v := range votes {
+		if v > bestN {
+			best, bestN = c, v
+		}
+	}
+	return best
+}
+
+// voteScratch slices a zeroed n-class vote buffer out of buf, falling back
+// to an allocation for class counts beyond the stack scratch.
+func voteScratch(buf []int, n int) []int {
+	if n > len(buf) {
+		return make([]int, n)
+	}
+	votes := buf[:n]
+	for i := range votes {
+		votes[i] = 0
+	}
+	return votes
+}
+
+// predictPointer is the pre-compilation pointer walk, kept as the reference
+// implementation for the flat-vs-pointer property tests and benchmarks.
+func (f *RandomForest) predictPointer(x []float64) int {
 	votes := make([]int, f.nclass)
 	for _, t := range f.trees {
 		n := t
@@ -180,7 +243,7 @@ func (f *RandomForest) Predict(x []float64) (int, error) {
 			best, bestN = c, v
 		}
 	}
-	return best, nil
+	return best
 }
 
 // NumTrees returns how many trees were trained.

@@ -41,8 +41,12 @@ func (c GBDTConfig) withDefaults() GBDTConfig {
 // class to the negative gradient (one-hot minus predicted probability) and
 // uses the standard Newton leaf value.
 type GBDT struct {
-	cfg    GBDTConfig
+	cfg GBDTConfig
+	// trees is the pointer-tree grid (serialization source of truth);
+	// prediction walks the shared flat arena instead.
 	trees  [][]*treeNode // trees[round][class]
+	flat   []flatNode    // every round's trees compiled contiguously
+	roots  [][]int32     // roots[round][class] arena offsets
 	nfeat  int
 	nclass int
 	prior  []float64 // initial log-odds per class
@@ -146,13 +150,18 @@ func (g *GBDT) Fit(ds *Dataset) error {
 		})
 		g.trees = append(g.trees, roundTrees)
 	}
+	g.flat, g.roots = compileRounds(g.trees)
 	g.nfeat = ds.NumFeatures
 	g.nclass = k
 	g.fitted = true
 	return nil
 }
 
-// Predict implements Classifier.
+// Predict implements Classifier. Score accumulators live in a fixed stack
+// buffer and the trees are walked in the compiled arena, so a call allocates
+// nothing. Accumulation order (round-major, then class) matches the
+// pointer-tree implementation exactly, keeping the floating-point scores —
+// and therefore the argmax — byte-identical.
 func (g *GBDT) Predict(x []float64) (int, error) {
 	if !g.fitted {
 		return 0, ErrNotFitted
@@ -160,6 +169,58 @@ func (g *GBDT) Predict(x []float64) (int, error) {
 	if len(x) != g.nfeat {
 		return 0, ErrBadFeatureLen
 	}
+	var buf [scratchClasses]float64
+	scores := scoreScratch(buf[:], g.nclass)
+	return g.score(x, scores), nil
+}
+
+// PredictBatch implements BatchPredictor: one score buffer serves the whole
+// batch, so steady-state batch prediction does zero allocation.
+func (g *GBDT) PredictBatch(xs [][]float64, out []int) error {
+	if err := checkBatch(g.fitted, xs, out); err != nil {
+		return err
+	}
+	var buf [scratchClasses]float64
+	scores := scoreScratch(buf[:], g.nclass)
+	for i, x := range xs {
+		if len(x) != g.nfeat {
+			return ErrBadFeatureLen
+		}
+		out[i] = g.score(x, scores)
+	}
+	return nil
+}
+
+// score accumulates every round's shrunken tree outputs into scores
+// (nclass-long scratch, overwritten) and returns the argmax class.
+func (g *GBDT) score(x []float64, scores []float64) int {
+	copy(scores, g.prior)
+	for _, round := range g.roots {
+		for c, r := range round {
+			scores[c] += g.cfg.LearningRate * flatLeaf(g.flat, r, x).leafValue()
+		}
+	}
+	best, bestS := 0, math.Inf(-1)
+	for c, s := range scores {
+		if s > bestS {
+			best, bestS = c, s
+		}
+	}
+	return best
+}
+
+// scoreScratch slices an n-class score buffer out of buf, falling back to an
+// allocation for class counts beyond the stack scratch.
+func scoreScratch(buf []float64, n int) []float64 {
+	if n > len(buf) {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// predictPointer is the pre-compilation pointer walk, kept as the reference
+// implementation for the flat-vs-pointer property tests and benchmarks.
+func (g *GBDT) predictPointer(x []float64) int {
 	scores := make([]float64, g.nclass)
 	copy(scores, g.prior)
 	for _, round := range g.trees {
@@ -173,7 +234,7 @@ func (g *GBDT) Predict(x []float64) (int, error) {
 			best, bestS = c, s
 		}
 	}
-	return best, nil
+	return best
 }
 
 // Rounds returns how many boosting rounds were trained.

@@ -1,22 +1,25 @@
 package mlmodels
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // KNN is a k-nearest-neighbors classifier — a floor baseline for the paper's
 // three tree ensembles: no structure learned, just memorized transitions.
 // Features are z-score normalized at fit time so large-range columns do not
 // drown informative small-range ones.
+//
+// The memorized set is stored as one row-major []float64 (plus a parallel
+// label array) rather than per-sample slices, so the distance scan streams
+// through contiguous memory, and Predict keeps only the K best candidates via
+// bounded insertion instead of sorting the full distance list.
 type KNN struct {
-	K       int // neighbors; <=0 means 5
-	samples []Sample
-	mean    []float64
-	scale   []float64
-	nfeat   int
-	nclass  int
-	fitted  bool
+	K      int       // neighbors; <=0 means 5
+	feats  []float64 // n × nfeat, row-major, z-score normalized
+	labels []int32
+	mean   []float64
+	scale  []float64
+	nfeat  int
+	nclass int
+	fitted bool
 }
 
 // NewKNN returns an unfitted kNN classifier.
@@ -60,20 +63,35 @@ func (k *KNN) Fit(ds *Dataset) error {
 			k.scale[f] = 1
 		}
 	}
-	k.samples = make([]Sample, ds.Len())
+	k.feats = make([]float64, ds.Len()*k.nfeat)
+	k.labels = make([]int32, ds.Len())
 	for i, s := range ds.Samples {
-		feat := make([]float64, k.nfeat)
+		row := k.feats[i*k.nfeat : (i+1)*k.nfeat]
 		for f, v := range s.Features {
-			feat[f] = (v - k.mean[f]) / k.scale[f]
+			row[f] = (v - k.mean[f]) / k.scale[f]
 		}
-		k.samples[i] = Sample{Features: feat, Label: s.Label}
+		k.labels[i] = int32(s.Label)
 	}
 	k.fitted = true
 	return nil
 }
 
-// Predict implements Classifier by majority vote over the K nearest
-// training samples (Euclidean distance).
+// knnNeigh is one candidate neighbor during the bounded selection.
+type knnNeigh struct {
+	d     float64 // squared distance (monotonic in the Euclidean distance)
+	label int32
+}
+
+// scratchNeighbors bounds the stack buffer for the K-nearest selection;
+// larger K falls back to an allocation.
+const scratchNeighbors = 32
+
+// Predict implements Classifier by majority vote over the K nearest training
+// samples (Euclidean distance; compared squared, which preserves the order).
+// Selection keeps a sorted window of the current K best via bounded
+// insertion — O(n·K) worst case instead of an O(n log n) full sort, and in
+// practice one comparison per non-candidate row. Distance ties resolve
+// toward the earlier training row, deterministically.
 func (k *KNN) Predict(x []float64) (int, error) {
 	if !k.fitted {
 		return 0, ErrNotFitted
@@ -81,30 +99,52 @@ func (k *KNN) Predict(x []float64) (int, error) {
 	if len(x) != k.nfeat {
 		return 0, ErrBadFeatureLen
 	}
-	type neigh struct {
-		d     float64
-		label int
+	var xbuf [scratchClasses]float64
+	xn := xbuf[:]
+	if k.nfeat > len(xn) {
+		xn = make([]float64, k.nfeat)
 	}
-	xn := make([]float64, k.nfeat)
+	xn = xn[:k.nfeat]
 	for f, v := range x {
 		xn[f] = (v - k.mean[f]) / k.scale[f]
 	}
-	ns := make([]neigh, len(k.samples))
-	for i, s := range k.samples {
+	kk := k.K
+	if n := len(k.labels); kk > n {
+		kk = n
+	}
+	var nbuf [scratchNeighbors]knnNeigh
+	nb := nbuf[:0]
+	if kk > len(nbuf) {
+		nb = make([]knnNeigh, 0, kk)
+	}
+	worst := math.Inf(1)
+	for i, lab := range k.labels {
+		row := k.feats[i*k.nfeat : (i+1)*k.nfeat]
 		var d float64
-		for f, v := range s.Features {
+		for f, v := range row {
 			diff := v - xn[f]
 			d += diff * diff
 		}
-		ns[i] = neigh{math.Sqrt(d), s.Label}
+		if len(nb) == kk {
+			if d >= worst {
+				continue
+			}
+			nb = nb[:kk-1]
+		}
+		// Insert in ascending distance order; strict comparison keeps
+		// equal-distance earlier rows ahead of later ones.
+		nb = append(nb, knnNeigh{})
+		j := len(nb) - 1
+		for j > 0 && nb[j-1].d > d {
+			nb[j] = nb[j-1]
+			j--
+		}
+		nb[j] = knnNeigh{d: d, label: lab}
+		worst = nb[len(nb)-1].d
 	}
-	sort.Slice(ns, func(a, b int) bool { return ns[a].d < ns[b].d })
-	kk := k.K
-	if kk > len(ns) {
-		kk = len(ns)
-	}
-	votes := make([]int, k.nclass)
-	for _, n := range ns[:kk] {
+	var vbuf [scratchClasses]int
+	votes := voteScratch(vbuf[:], k.nclass)
+	for _, n := range nb {
 		votes[n.label]++
 	}
 	best, bestN := 0, -1
@@ -114,6 +154,21 @@ func (k *KNN) Predict(x []float64) (int, error) {
 		}
 	}
 	return best, nil
+}
+
+// PredictBatch implements BatchPredictor.
+func (k *KNN) PredictBatch(xs [][]float64, out []int) error {
+	if err := checkBatch(k.fitted, xs, out); err != nil {
+		return err
+	}
+	for i, x := range xs {
+		p, err := k.Predict(x)
+		if err != nil {
+			return err
+		}
+		out[i] = p
+	}
+	return nil
 }
 
 // Majority always predicts the most frequent training label — the absolute
@@ -160,4 +215,18 @@ func (m *Majority) Predict(x []float64) (int, error) {
 		return 0, ErrBadFeatureLen
 	}
 	return m.label, nil
+}
+
+// PredictBatch implements BatchPredictor.
+func (m *Majority) PredictBatch(xs [][]float64, out []int) error {
+	if err := checkBatch(m.fitted, xs, out); err != nil {
+		return err
+	}
+	for i, x := range xs {
+		if len(x) != m.nfeat {
+			return ErrBadFeatureLen
+		}
+		out[i] = m.label
+	}
+	return nil
 }

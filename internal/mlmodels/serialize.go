@@ -113,6 +113,7 @@ func (t *DecisionTree) UnmarshalJSON(b []byte) error {
 		return err
 	}
 	t.root = root
+	t.flat = compileTree(t.root)
 	t.nfeat = d.NFeat
 	t.fitted = true
 	return nil
@@ -154,6 +155,7 @@ func (f *RandomForest) UnmarshalJSON(b []byte) error {
 		}
 		f.trees = append(f.trees, root)
 	}
+	f.flat, f.roots = compileForest(f.trees)
 	f.nfeat = d.NFeat
 	f.nclass = d.NClass
 	f.fitted = true
@@ -212,6 +214,7 @@ func (g *GBDT) UnmarshalJSON(b []byte) error {
 		}
 		g.trees = append(g.trees, r)
 	}
+	g.flat, g.roots = compileRounds(g.trees)
 	g.prior = d.Prior
 	g.nfeat = d.NFeat
 	g.nclass = d.NClass

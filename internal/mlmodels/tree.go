@@ -41,8 +41,11 @@ func (n *treeNode) isLeaf() bool { return n.feature == -1 }
 
 // DecisionTree is the paper's DTC: a CART classifier split on Gini impurity.
 type DecisionTree struct {
-	cfg    TreeConfig
+	cfg TreeConfig
+	// root is the pointer tree built during induction; it stays the
+	// serialization source of truth, but prediction runs on flat.
 	root   *treeNode
+	flat   []flatNode // compiled inference layout (see flat.go)
 	nfeat  int
 	fitted bool
 }
@@ -66,12 +69,14 @@ func (t *DecisionTree) Fit(ds *Dataset) error {
 	}
 	rng := rand.New(rand.NewSource(t.cfg.Seed))
 	t.root = buildClassTree(ds, idx, t.cfg, 0, rng)
+	t.flat = compileTree(t.root)
 	t.nfeat = ds.NumFeatures
 	t.fitted = true
 	return nil
 }
 
-// Predict implements Classifier.
+// Predict implements Classifier with an iterative walk over the compiled
+// arena; it allocates nothing.
 func (t *DecisionTree) Predict(x []float64) (int, error) {
 	if !t.fitted {
 		return 0, ErrNotFitted
@@ -79,6 +84,26 @@ func (t *DecisionTree) Predict(x []float64) (int, error) {
 	if len(x) != t.nfeat {
 		return 0, ErrBadFeatureLen
 	}
+	return int(flatLeaf(t.flat, 0, x).label), nil
+}
+
+// PredictBatch implements BatchPredictor.
+func (t *DecisionTree) PredictBatch(xs [][]float64, out []int) error {
+	if err := checkBatch(t.fitted, xs, out); err != nil {
+		return err
+	}
+	for i, x := range xs {
+		if len(x) != t.nfeat {
+			return ErrBadFeatureLen
+		}
+		out[i] = int(flatLeaf(t.flat, 0, x).label)
+	}
+	return nil
+}
+
+// predictPointer is the pre-compilation pointer walk, kept as the reference
+// implementation for the flat-vs-pointer property tests and benchmarks.
+func (t *DecisionTree) predictPointer(x []float64) int {
 	n := t.root
 	for !n.isLeaf() {
 		if x[n.feature] <= n.threshold {
@@ -87,7 +112,7 @@ func (t *DecisionTree) Predict(x []float64) (int, error) {
 			n = n.right
 		}
 	}
-	return n.label, nil
+	return n.label
 }
 
 // Depth returns the depth of the fitted tree (a single leaf has depth 1);

@@ -110,6 +110,21 @@ func NumChunks(n int) int {
 	return (n + ChunkSize - 1) / ChunkSize
 }
 
+// ChunkBounds returns the half-open index range [lo, hi) of chunk c in an
+// index space of size n, under the same fixed-ChunkSize decomposition
+// ForChunks applies. Hot loops that call For once per iteration use it to
+// build their chunk body a single time (closures handed to For escape to the
+// heap, so constructing one inside an iteration loop allocates per
+// iteration) while still seeing identical chunk boundaries.
+func ChunkBounds(c, n int) (lo, hi int) {
+	lo = c * ChunkSize
+	hi = lo + ChunkSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
 // ForChunks splits [0, n) into fixed-size chunks (ChunkSize indices each,
 // independent of workers) and runs body(chunk, lo, hi) for each half-open
 // [lo, hi) range, using at most workers goroutines. chunk is the chunk
@@ -118,11 +133,7 @@ func NumChunks(n int) int {
 // when the reduction is order-sensitive (floating-point sums).
 func ForChunks(workers, n int, body func(chunk, lo, hi int)) {
 	For(workers, NumChunks(n), func(c int) {
-		lo := c * ChunkSize
-		hi := lo + ChunkSize
-		if hi > n {
-			hi = n
-		}
+		lo, hi := ChunkBounds(c, n)
 		body(c, lo, hi)
 	})
 }

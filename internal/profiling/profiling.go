@@ -1,0 +1,58 @@
+// Package profiling wires the runtime/pprof CPU and heap profilers behind
+// command-line flags, so full-scale binary runs can be profiled without
+// editing code. Commands call Start once after flag parsing and the returned
+// stop function once after the workload; both paths are optional and an
+// empty path disables that profile.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath when it is non-empty. The returned
+// stop function ends the CPU profile and, when memPath is non-empty, forces a
+// GC and writes an allocation (heap) profile there. Call stop exactly once,
+// after the workload finishes; deferring it from main is not enough when the
+// program exits through os.Exit, so commands should call it on every path.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			_ = cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			// Materialize pending frees so the heap profile reflects live
+			// objects, matching `go test -memprofile` behavior.
+			runtime.GC()
+			werr := pprof.WriteHeapProfile(f)
+			cerr := f.Close()
+			if werr != nil {
+				return fmt.Errorf("profiling: write heap profile: %w", werr)
+			}
+			if cerr != nil {
+				return fmt.Errorf("profiling: close heap profile: %w", cerr)
+			}
+		}
+		return nil
+	}, nil
+}
