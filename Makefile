@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt lint bench bench-record
+.PHONY: all build test race fmt lint bench bench-fleet bench-record
 
 all: build test
 
@@ -35,13 +35,21 @@ fmt:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# bench-fleet runs the fleet-scale placement benchmarks: a full distributor
+# scan of a warm 1k-server fleet (Poisson arrivals over the five-game mix)
+# at serial and parallel -jobs settings, plus the steady-state admission
+# micro-benchmarks that must stay allocation-free. Lint-gated like every
+# recorded measurement.
+bench-fleet: lint
+	$(GO) test -run '^$$' -bench 'FleetPlacement|Evaluate' -benchmem -benchtime 200x . ./internal/scheduler
+
 # bench-record runs the hot-path benchmarks through cmd/cocg-bench and
-# writes the machine-readable record BENCH_PR3.json (ns/op, B/op, allocs/op,
+# writes the machine-readable record BENCH_PR4.json (ns/op, B/op, allocs/op,
 # custom metrics, plus commit/seed metadata) — the repo's benchmark
 # trajectory, one checked-in record per perf PR. Lint gates it so a record
 # is never taken from a tree the analyzers reject. Set BENCH_BASELINE to a
 # previous record to embed it and print the deltas.
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR4.json
 BENCH_BASELINE ?=
 bench-record: lint
 	$(GO) run ./cmd/cocg-bench -out $(BENCH_OUT) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))

@@ -14,10 +14,14 @@ import (
 	"testing"
 
 	"cocg/internal/cluster"
+	"cocg/internal/core"
 	"cocg/internal/experiments"
+	"cocg/internal/gamesim"
 	"cocg/internal/mlmodels"
 	"cocg/internal/parallel"
+	"cocg/internal/platform"
 	"cocg/internal/resources"
+	"cocg/internal/workload"
 )
 
 var (
@@ -508,3 +512,102 @@ func benchHarness(b *testing.B, jobs int) {
 
 func BenchmarkHarnessJobs1(b *testing.B)   { benchHarness(b, 1) }
 func BenchmarkHarnessJobsMax(b *testing.B) { benchHarness(b, 0) }
+
+// --- Fleet-scale placement benchmarks ---
+//
+// The distributor (Algorithm 1) runs on every frame boundary over every
+// pending arrival × every server; at Capsule-scale fleets (thousands of
+// co-located engines) placement, not inference, is the dominant hot path.
+// These benchmarks measure one full placement scan of a warm 1k-server
+// fleet hosting the five-game mix, at different -jobs settings.
+
+const (
+	fleetServers         = 1024
+	fleetHostedPerServer = 2
+	fleetWarmTicks       = 31
+	fleetArrivals        = 8
+)
+
+// fleetState is the shared warm fleet: built once, never mutated by the
+// placement-scan benchmarks (scoring a candidate does not place it).
+type fleetState struct {
+	cluster  *platform.Cluster
+	arrivals []platform.Arrival
+}
+
+var (
+	fleetOnce sync.Once
+	fleet     *fleetState
+	fleetErr  error
+)
+
+// fleetForBench builds a deterministic 1k-server fleet under the CoCG
+// policy: every server is pre-loaded with sessions from the five-game mix
+// (placed directly, bypassing admission, so the fixture does not depend on
+// the scheduler under test), then the whole fleet ticks long enough for
+// every session's predictor to accumulate real stage history. The candidate
+// arrivals are drawn from a Poisson mixed-game stream, the same arrival
+// process the scale-out experiment drives.
+func fleetForBench(b *testing.B) *fleetState {
+	b.Helper()
+	ctx := ctxForBench(b)
+	fleetOnce.Do(func() {
+		c := ctx.System.NewCluster(fleetServers, core.PolicyCoCG)
+		gen := ctx.System.Generator(1234)
+		mix := gamesim.AllGames()
+		for si, srv := range c.Servers {
+			for k := 0; k < fleetHostedPerServer; k++ {
+				a := gen.Next(mix[(si+k)%len(mix)])
+				sess, err := gamesim.NewPlayerSession(a.Spec, a.Script, a.Habit, a.SessionSeed)
+				if err != nil {
+					fleetErr = err
+					return
+				}
+				ctl, err := c.Policy.NewController(a.Spec, a.Habit)
+				if err != nil {
+					fleetErr = err
+					return
+				}
+				srv.Add(a.Spec, sess, ctl)
+			}
+		}
+		c.Run(fleetWarmTicks)
+		st := &fleetState{cluster: c}
+		// Harvest Poisson arrivals into a never-ticked holding cluster: Feed
+		// only enqueues, so Pending is exactly the generated arrival stream.
+		hold := platform.NewCluster(0, c.Policy)
+		stream := workload.NewMixStream(gen, mix, 0.5, 4321)
+		for len(hold.Pending) < fleetArrivals {
+			stream.Feed(hold)
+		}
+		st.arrivals = hold.Pending[:fleetArrivals]
+		fleet = st
+	})
+	if fleetErr != nil {
+		b.Fatal(fleetErr)
+	}
+	return fleet
+}
+
+// benchFleetPlacement measures one distributor scan — scoring an arrival
+// against every server and picking the argmax — without placing the winner,
+// so every iteration sees the same fleet.
+func benchFleetPlacement(b *testing.B, jobs int) {
+	st := fleetForBench(b)
+	c := st.cluster
+	c.Jobs = jobs
+	b.ReportAllocs()
+	b.ResetTimer()
+	picked := 0
+	for i := 0; i < b.N; i++ {
+		a := st.arrivals[i%len(st.arrivals)]
+		if c.PickServer(a) != nil {
+			picked++
+		}
+	}
+	b.ReportMetric(float64(fleetServers), "servers")
+	b.ReportMetric(float64(picked)/float64(b.N), "placeable-frac")
+}
+
+func BenchmarkFleetPlacement1kJobs1(b *testing.B) { benchFleetPlacement(b, 1) }
+func BenchmarkFleetPlacement1kJobs8(b *testing.B) { benchFleetPlacement(b, 8) }

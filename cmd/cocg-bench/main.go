@@ -57,12 +57,12 @@ type Record struct {
 }
 
 func main() {
-	bench := flag.String("bench", "Predict|KMeans|KNN", "benchmark name regex passed to go test -bench")
+	bench := flag.String("bench", "Predict|KMeans|KNN|FleetPlacement|Evaluate", "benchmark name regex passed to go test -bench")
 	pkgs := flag.String("pkgs", "./...", "package pattern to benchmark")
 	count := flag.Int("count", 1, "go test -count")
 	benchtime := flag.String("benchtime", "", "go test -benchtime (empty = go default)")
 	baseline := flag.String("baseline", "", "previous record to embed under \"baseline\"")
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem",

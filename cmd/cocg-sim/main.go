@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	cocg-sim [-servers N] [-hours H] [-rate R] [-policy cocg|vbp|gaugur|reactive] [-seed S]
+//	cocg-sim [-servers N] [-hours H] [-rate R] [-policy cocg|vbp|gaugur|reactive] [-seed S] [-jobs J]
 package main
 
 import (
@@ -29,6 +29,7 @@ func main() {
 	rate := flag.Float64("rate", 0.02, "mean arrivals per simulated second")
 	policy := flag.String("policy", "cocg", "scheduling policy: cocg, vbp, gaugur, reactive, all")
 	seed := flag.Int64("seed", 1, "random seed")
+	jobs := flag.Int("jobs", 0, "placement-scan worker goroutines (<=1 serial; any value places identically)")
 	bundle := flag.String("bundle", "", "load a pre-trained system from this cocg-train bundle instead of training")
 	flag.Parse()
 
@@ -66,6 +67,7 @@ func main() {
 	for _, kind := range selected {
 		c := sys.NewCluster(*servers, kind)
 		c.StarveLimit = 5 * simclock.Minute
+		c.Jobs = *jobs
 		gen := sys.Generator(*seed + 7)
 		stream := workload.NewMixStream(gen, gamesim.AllGames(), *rate, *seed+11)
 		t0 := time.Now()

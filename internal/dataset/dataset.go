@@ -83,7 +83,15 @@ const NumFeatures = HistoryLen + 1 + 1 + int(resources.NumDims) + 1
 // last entry. hist is ordered oldest-first and must be non-empty; pos is the
 // index of the current stage within its (possibly multi-session) sequence.
 func Features(hist []StageObs, pos int) []float64 {
-	f := make([]float64, 0, NumFeatures)
+	return AppendFeatures(make([]float64, 0, NumFeatures), hist, pos)
+}
+
+// AppendFeatures is Features into a caller-provided buffer: it appends the
+// NumFeatures-long vector to f[:0]'s backing array and returns the result,
+// so per-frame predictors and forecast loops can reuse one buffer instead of
+// allocating per prediction.
+func AppendFeatures(f []float64, hist []StageObs, pos int) []float64 {
+	f = f[:0]
 	// Previous HistoryLen stage IDs, oldest slot first, -1 padding.
 	for i := HistoryLen; i >= 1; i-- {
 		idx := len(hist) - 1 - i

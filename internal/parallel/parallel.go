@@ -138,6 +138,49 @@ func ForChunks(workers, n int, body func(chunk, lo, hi int)) {
 	})
 }
 
+// NumChunksOf is NumChunks under a caller-chosen chunk size: how many
+// size-wide chunks an index space of n decomposes into. size <= 0 falls back
+// to ChunkSize.
+func NumChunksOf(n, size int) int {
+	if size <= 0 {
+		size = ChunkSize
+	}
+	if n <= 0 {
+		return 0
+	}
+	return (n + size - 1) / size
+}
+
+// ChunkBoundsOf is ChunkBounds under a caller-chosen chunk size. Like the
+// fixed-size decomposition, the boundaries depend only on (n, size) — never
+// on the worker count — so order-sensitive reductions that merge per-chunk
+// partials in chunk order stay bit-identical at every parallelism level.
+func ChunkBoundsOf(c, n, size int) (lo, hi int) {
+	if size <= 0 {
+		size = ChunkSize
+	}
+	lo = c * size
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ForChunksOf is ForChunks with a caller-chosen chunk granularity, for hot
+// loops whose per-index body is expensive enough that ChunkSize (tuned for
+// cheap point-wise passes) would leave most workers idle — e.g. the
+// placement engine scores whole servers per index, so it scans a 1k-server
+// fleet in 32-wide chunks. Per-chunk state (scratch buffers, partial
+// argmaxes) may be keyed by the chunk index: each chunk runs on exactly one
+// goroutine per call.
+func ForChunksOf(workers, n, size int, body func(chunk, lo, hi int)) {
+	For(workers, NumChunksOf(n, size), func(c int) {
+		lo, hi := ChunkBoundsOf(c, n, size)
+		body(c, lo, hi)
+	})
+}
+
 // Group runs error-returning tasks with bounded concurrency: an errgroup
 // shaped for this repo (first error wins, worker panics re-raised on Wait).
 type Group struct {

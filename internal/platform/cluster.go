@@ -2,6 +2,7 @@ package platform
 
 import (
 	"cocg/internal/gamesim"
+	"cocg/internal/parallel"
 	"cocg/internal/resources"
 	"cocg/internal/simclock"
 )
@@ -35,6 +36,27 @@ type Cluster struct {
 	// reproduces the paper's setting: every pending request keeps retrying
 	// independently and the distributor places whatever fits.
 	StarveLimit simclock.Seconds
+
+	// Jobs bounds the goroutines pickServer fans the per-server scoring scan
+	// over. Values <= 1 scan serially; every value yields bit-identical
+	// placements, because the scan decomposes into fixed chunks and the
+	// argmax reduction walks score slots in server order.
+	Jobs int
+
+	// FailedPlacements counts arrivals that won a server but could not be
+	// materialized (malformed script index, controller construction error).
+	// Such arrivals leave the queue — retrying one would fail identically
+	// every round — but are counted and logged rather than silently dropped.
+	FailedPlacements int
+
+	// Logf, when non-nil, receives diagnostic messages (dropped arrivals).
+	Logf func(format string, args ...any)
+
+	// pickServer's reusable scratch: per-server score slots plus per-chunk
+	// policy scratches, grown once and reused across placement rounds.
+	pickScores    []float64
+	pickOK        []bool
+	pickScratches []any
 }
 
 // NewCluster builds a cluster of n full-capacity servers under the policy.
@@ -59,31 +81,121 @@ type Scorer interface {
 	Score(srv *Server, spec *gamesim.GameSpec, habit int64) (score float64, ok bool)
 }
 
+// ScratchScorer is an optional Scorer refinement for policies whose scoring
+// needs working buffers: the cluster hands each scoring goroutine its own
+// scratch (created by NewScratch, reused across rounds), so a fleet scan
+// allocates nothing in steady state. ScoreScratch must return exactly what
+// Score would — scratch is storage, never state.
+type ScratchScorer interface {
+	Scorer
+	// NewScratch returns a fresh scratch for one scoring goroutine.
+	NewScratch() any
+	// ScoreScratch is Score drawing all temporary storage from scratch.
+	ScoreScratch(srv *Server, spec *gamesim.GameSpec, habit int64, scratch any) (score float64, ok bool)
+}
+
+// PlacementPreparer is an optional Policy refinement: PreparePlacement runs
+// serially before each (possibly parallel) scoring scan, giving the policy a
+// safe point to set up shared per-server state — the CoCG distributor creates
+// its forecast-cache map entries here so the concurrent scan only ever
+// touches disjoint, pre-existing structs.
+type PlacementPreparer interface {
+	PreparePlacement(servers []*Server)
+}
+
+// placementChunk is the fleet-scan granularity: servers are scored in
+// fixed 32-wide chunks so a parallel scan keeps every worker busy on a
+// 1k-server fleet while the chunk boundaries (and hence per-chunk scratch
+// assignment) stay independent of the worker count.
+const placementChunk = 32
+
 // pickServer chooses the server for an arrival: best score under a Scorer
-// policy, else first fit.
+// policy, else first fit. Under a Scorer the per-server scan fans out over
+// Jobs goroutines into per-server score slots; the argmax reduction then
+// walks the slots serially in server order with a strict >, so the result —
+// including tie-breaks toward the lowest server ID — is bit-identical to the
+// serial scan at every worker count.
 func (c *Cluster) pickServer(a Arrival) *Server {
-	if sc, ok := c.Policy.(Scorer); ok {
-		var best *Server
-		bestScore := 0.0
+	sc, isScorer := c.Policy.(Scorer)
+	if !isScorer {
 		for _, srv := range c.Servers {
 			if srv.Draining {
 				continue
 			}
-			if s, ok := sc.Score(srv, a.Spec, a.Habit); ok && (best == nil || s > bestScore) {
-				best, bestScore = srv, s
+			if c.Policy.Admit(srv, a.Spec, a.Habit) {
+				return srv
 			}
 		}
-		return best
+		return nil
 	}
-	for _, srv := range c.Servers {
-		if srv.Draining {
-			continue
+
+	if pp, ok := c.Policy.(PlacementPreparer); ok {
+		pp.PreparePlacement(c.Servers)
+	}
+
+	n := len(c.Servers)
+	if cap(c.pickScores) < n {
+		c.pickScores = make([]float64, n)
+		c.pickOK = make([]bool, n)
+	}
+	scores, oks := c.pickScores[:n], c.pickOK[:n]
+
+	ss, hasScratch := c.Policy.(ScratchScorer)
+	if chunks := parallel.NumChunksOf(n, placementChunk); hasScratch && len(c.pickScratches) < chunks {
+		grown := make([]any, chunks)
+		copy(grown, c.pickScratches)
+		c.pickScratches = grown
+	}
+
+	jobs := c.Jobs
+	if jobs <= 0 {
+		jobs = 1
+	}
+	parallel.ForChunksOf(jobs, n, placementChunk, func(chunk, lo, hi int) {
+		// Each chunk runs on exactly one goroutine and distinct chunks use
+		// distinct slots, so the lazy scratch fill is race-free.
+		var scratch any
+		if hasScratch {
+			scratch = c.pickScratches[chunk]
+			if scratch == nil {
+				scratch = ss.NewScratch()
+				c.pickScratches[chunk] = scratch
+			}
 		}
-		if c.Policy.Admit(srv, a.Spec, a.Habit) {
-			return srv
+		for i := lo; i < hi; i++ {
+			oks[i] = false
+			srv := c.Servers[i]
+			if srv.Draining {
+				continue
+			}
+			var s float64
+			var ok bool
+			if hasScratch {
+				s, ok = ss.ScoreScratch(srv, a.Spec, a.Habit, scratch)
+			} else {
+				s, ok = sc.Score(srv, a.Spec, a.Habit)
+			}
+			if ok {
+				scores[i], oks[i] = s, true
+			}
+		}
+	})
+
+	var best *Server
+	bestScore := 0.0
+	for i, srv := range c.Servers {
+		if oks[i] && (best == nil || scores[i] > bestScore) {
+			best, bestScore = srv, scores[i]
 		}
 	}
-	return nil
+	return best
+}
+
+// PickServer returns the server the policy would place the arrival on right
+// now, without placing it — nil when no server admits it. It is the dry-run
+// entry point the fleet benchmarks and placement property tests drive.
+func (c *Cluster) PickServer(a Arrival) *Server {
+	return c.pickServer(a)
 }
 
 // Drain marks a server as draining; returns false for an unknown ID.
@@ -124,12 +236,15 @@ func (c *Cluster) tryPlace() {
 		if srv := c.pickServer(a); srv != nil {
 			placed = true // even malformed arrivals leave the queue
 			sess, err := gamesim.NewPlayerSession(a.Spec, a.Script, a.Habit, a.SessionSeed)
-			if err == nil {
-				ctl, cerr := c.Policy.NewController(a.Spec, a.Habit)
-				if cerr == nil {
-					srv.Add(a.Spec, sess, ctl)
-					c.Placements++
-				}
+			if err != nil {
+				c.FailedPlacements++
+				c.logf("platform: dropping arrival %s (script %d): %v", a.Spec.Name, a.Script, err)
+			} else if ctl, cerr := c.Policy.NewController(a.Spec, a.Habit); cerr != nil {
+				c.FailedPlacements++
+				c.logf("platform: dropping arrival %s: no controller: %v", a.Spec.Name, cerr)
+			} else {
+				srv.Add(a.Spec, sess, ctl)
+				c.Placements++
 			}
 		}
 		if !placed {
@@ -162,9 +277,21 @@ func (c *Cluster) Run(d simclock.Seconds) {
 	}
 }
 
-// Records returns all completed-session records across servers.
+// logf forwards to Logf when set.
+func (c *Cluster) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Records returns all completed-session records across servers, sized in one
+// counting pass so the result is built with exactly one allocation.
 func (c *Cluster) Records() []Record {
-	var out []Record
+	n := 0
+	for _, srv := range c.Servers {
+		n += len(srv.Records)
+	}
+	out := make([]Record, 0, n)
 	for _, srv := range c.Servers {
 		out = append(out, srv.Records...)
 	}

@@ -36,6 +36,18 @@ type HardCapper interface {
 	HardCapped() bool
 }
 
+// ForecastRevisioner is an optional Controller refinement: a controller
+// whose predicted demand timeline is a pure function of internal state
+// stamped by a revision counter. While ForecastRev is unchanged the
+// controller's forecast is guaranteed unchanged, so a policy may cache
+// aggregates derived from it (the CoCG distributor caches each server's
+// summed hosted-demand timeline this way). Controllers that cannot make
+// this guarantee simply don't implement the interface and are re-read every
+// evaluation.
+type ForecastRevisioner interface {
+	ForecastRev() uint64
+}
+
 // Policy is a complete co-location scheduling scheme: admission (the
 // distributor), per-game control, and server-level regulation.
 type Policy interface {
@@ -99,7 +111,16 @@ type Server struct {
 	nextID int
 	// peakUtil tracks the highest total grant observed, for reporting.
 	peakUtil resources.Vector
+	// rev counts membership changes (admissions and departures). Together
+	// with the hosted controllers' ForecastRevs it stamps everything a
+	// cached per-server aggregate forecast depends on.
+	rev uint64
 }
+
+// Rev returns the server's membership revision: it bumps whenever a session
+// is added or swept out, never otherwise. Policies key per-server forecast
+// caches on it.
+func (s *Server) Rev() uint64 { return s.rev }
 
 // NewServer returns a server with the given capacity, sharing the cluster
 // clock.
@@ -118,6 +139,7 @@ func (s *Server) Add(spec *gamesim.GameSpec, sess *gamesim.Session, ctl Controll
 		lastGrant:  resources.FullServer,
 	}
 	s.nextID++
+	s.rev++
 	s.Hosted = append(s.Hosted, h)
 	return h
 }
@@ -250,6 +272,9 @@ func (s *Server) Tick(p Policy) {
 		} else {
 			remaining = append(remaining, h)
 		}
+	}
+	if len(remaining) != len(s.Hosted) {
+		s.rev++
 	}
 	s.Hosted = remaining
 }

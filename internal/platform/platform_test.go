@@ -1,6 +1,8 @@
 package platform
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 
 	"cocg/internal/gamesim"
@@ -219,6 +221,181 @@ func TestDrainStopsPlacement(t *testing.T) {
 	c.Run(10)
 	if c.Placements != 1 {
 		t.Errorf("placements after undrain = %d", c.Placements)
+	}
+}
+
+// brokenControllerPolicy admits everything but cannot build controllers.
+type brokenControllerPolicy struct{ admitAllPolicy }
+
+func (b *brokenControllerPolicy) NewController(*gamesim.GameSpec, int64) (Controller, error) {
+	return nil, errors.New("controller factory broken")
+}
+
+func TestFailedPlacementIsCountedAndLogged(t *testing.T) {
+	var logged []string
+	c := NewCluster(1, &brokenControllerPolicy{})
+	c.Logf = func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+	c.Submit(Arrival{Spec: gamesim.Contra(), Script: 0, Habit: 1, SessionSeed: 2})
+	c.Run(10)
+	if c.FailedPlacements != 1 {
+		t.Errorf("FailedPlacements = %d, want 1", c.FailedPlacements)
+	}
+	if c.Placements != 0 {
+		t.Errorf("Placements = %d, want 0", c.Placements)
+	}
+	// The malformed arrival leaves the queue: retrying it would fail
+	// identically forever.
+	if len(c.Pending) != 0 {
+		t.Errorf("pending = %d, want 0", len(c.Pending))
+	}
+	if len(logged) != 1 {
+		t.Fatalf("logged %d messages, want 1: %q", len(logged), logged)
+	}
+}
+
+func TestFailedPlacementBadScript(t *testing.T) {
+	c := NewCluster(1, &admitAllPolicy{req: resources.FullServer})
+	c.Submit(Arrival{Spec: gamesim.Contra(), Script: 9999, Habit: 1, SessionSeed: 2})
+	c.Run(10)
+	if c.FailedPlacements != 1 || c.Placements != 0 || len(c.Pending) != 0 {
+		t.Errorf("failed=%d placed=%d pending=%d, want 1/0/0 (nil Logf must not panic)",
+			c.FailedPlacements, c.Placements, len(c.Pending))
+	}
+}
+
+// occupancyScorer scores by server occupancy modulo 3, producing many exact
+// ties so the parallel scan's lowest-ID tie-break is load-bearing.
+type occupancyScorer struct {
+	admitAllPolicy
+	cap int
+}
+
+func (s *occupancyScorer) Score(srv *Server, spec *gamesim.GameSpec, habit int64) (float64, bool) {
+	if srv.NumHosted() >= s.cap {
+		return 0, false
+	}
+	return float64(srv.NumHosted() % 3), true
+}
+
+// occupancyScratchScorer is occupancyScorer through the scratch-scoring
+// interface, covering the per-chunk scratch plumbing.
+type occupancyScratchScorer struct{ occupancyScorer }
+
+type occupancyScratch struct{ evals int }
+
+func (s *occupancyScratchScorer) NewScratch() any { return &occupancyScratch{} }
+
+func (s *occupancyScratchScorer) ScoreScratch(srv *Server, spec *gamesim.GameSpec, habit int64, scratch any) (float64, bool) {
+	scratch.(*occupancyScratch).evals++
+	return s.Score(srv, spec, habit)
+}
+
+// occupancyTrace runs a fixed arrival stream over a 70-server cluster (three
+// placement chunks) and returns the per-tick hosted counts of every server.
+func occupancyTrace(t *testing.T, pol Policy, jobs int) []int {
+	t.Helper()
+	c := NewCluster(70, pol)
+	c.Jobs = jobs
+	var trace []int
+	for tick := 0; tick < 120; tick++ {
+		if tick%2 == 0 {
+			c.Submit(Arrival{
+				Spec:        gamesim.Contra(),
+				Script:      tick % 3,
+				Habit:       int64(tick),
+				SessionSeed: int64(1000 + tick),
+			})
+		}
+		c.Tick()
+		for _, srv := range c.Servers {
+			trace = append(trace, srv.NumHosted())
+		}
+	}
+	if c.Placements == 0 {
+		t.Fatal("stream placed nothing; the trace proves nothing")
+	}
+	return trace
+}
+
+func TestParallelPlacementMatchesSerial(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		pol  func() Policy
+	}{
+		{"scorer", func() Policy { return &occupancyScorer{cap: 4} }},
+		{"scratch-scorer", func() Policy { return &occupancyScratchScorer{occupancyScorer{cap: 4}} }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			want := occupancyTrace(t, mk.pol(), 1)
+			for _, jobs := range []int{2, 7, 16} {
+				got := occupancyTrace(t, mk.pol(), jobs)
+				if len(got) != len(want) {
+					t.Fatalf("jobs=%d: trace length %d != %d", jobs, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("jobs=%d: trace diverges at %d: got %d, want %d", jobs, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPickServerDoesNotPlace(t *testing.T) {
+	c := NewCluster(2, &occupancyScorer{cap: 4})
+	a := Arrival{Spec: gamesim.Contra(), Script: 0, Habit: 1, SessionSeed: 2}
+	srv := c.PickServer(a)
+	if srv == nil {
+		t.Fatal("PickServer found no server on an empty cluster")
+	}
+	if srv.ID != 0 {
+		t.Errorf("tie on empty servers picked ID %d, want lowest ID 0", srv.ID)
+	}
+	if c.RunningSessions() != 0 || c.Placements != 0 {
+		t.Error("PickServer mutated the cluster")
+	}
+}
+
+func benchClusterWithRecords(b *testing.B) *Cluster {
+	b.Helper()
+	c := NewCluster(64, &admitAllPolicy{})
+	for _, srv := range c.Servers {
+		for i := 0; i < 16; i++ {
+			srv.Records = append(srv.Records, Record{Game: "G"})
+		}
+		for i := 0; i < 2; i++ {
+			sess, err := gamesim.NewSession(gamesim.Contra(), 0, int64(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.Add(gamesim.Contra(), sess, &passthroughController{})
+		}
+	}
+	return c
+}
+
+func BenchmarkClusterRecords(b *testing.B) {
+	c := benchClusterWithRecords(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(c.Records()) != 64*16 {
+			b.Fatal("wrong record count")
+		}
+	}
+}
+
+func BenchmarkRunningSessions(b *testing.B) {
+	c := benchClusterWithRecords(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.RunningSessions() != 64*2 {
+			b.Fatal("wrong session count")
+		}
 	}
 }
 

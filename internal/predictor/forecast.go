@@ -19,11 +19,30 @@ func (pr *Predictor) CurrentStage() int {
 	return id
 }
 
+// ForecastRev returns the predictor's forecast revision: it bumps exactly
+// when a detection frame completes, and every input a forecast reads mutates
+// only inside that step. Two calls to ForecastDemand/ForecastCurve between
+// identical revisions therefore return identical timelines, which is what
+// lets the distributor cache per-server aggregate forecasts (see
+// scheduler.CoCG) instead of re-forecasting every hosted session for every
+// candidate.
+func (pr *Predictor) ForecastRev() uint64 { return pr.rev }
+
+// ForecastScratch owns the reusable buffers one forecasting goroutine needs:
+// the working stage history the iterative prediction extends and the feature
+// vector handed to the model. A zero value is ready to use; a scratch must
+// not be shared between concurrent forecasts.
+type ForecastScratch struct {
+	hist []dataset.StageObs
+	feat []float64
+}
+
 // ForecastCurve projects the session's expected allocation over the next
 // `frames` detection frames: the remainder of the current stage, then
 // model-predicted stages separated by typical loading gaps.
 func (pr *Predictor) ForecastCurve(frames int) []resources.Vector {
-	return pr.forecast(frames, true)
+	var s ForecastScratch
+	return pr.forecastInto(frames, true, make([]resources.Vector, 0, frames), &s)
 }
 
 // ForecastDemand is ForecastCurve without the allocation headroom: the raw
@@ -31,39 +50,43 @@ func (pr *Predictor) ForecastCurve(frames int) []resources.Vector {
 // sums to find future peak overlaps — headroom would double-count the
 // safety margin.
 func (pr *Predictor) ForecastDemand(frames int) []resources.Vector {
-	return pr.forecast(frames, false)
+	var s ForecastScratch
+	return pr.forecastInto(frames, false, make([]resources.Vector, 0, frames), &s)
 }
 
-func (pr *Predictor) forecast(frames int, headroom bool) []resources.Vector {
-	pad := func(v resources.Vector) resources.Vector {
-		if !headroom {
-			return v
-		}
-		return v.Scale(allocHeadroomScale).Add(resources.Uniform(allocHeadroomAbs)).Clamp(0, 100)
+// ForecastDemandInto is ForecastDemand into caller-provided storage: the
+// timeline is appended to dst[:0]'s backing array (grown as needed) and
+// returned, with all intermediate state drawn from scratch. Steady-state
+// calls allocate nothing, which keeps the admission path allocation-free.
+func (pr *Predictor) ForecastDemandInto(frames int, dst []resources.Vector, scratch *ForecastScratch) []resources.Vector {
+	return pr.forecastInto(frames, false, dst, scratch)
+}
+
+// padDemand applies the second-level allocation headroom when forecasting
+// allocations rather than raw demand.
+func padDemand(v resources.Vector, headroom bool) resources.Vector {
+	if !headroom {
+		return v
 	}
-	curve := make([]resources.Vector, 0, frames)
+	return v.Scale(allocHeadroomScale).Add(resources.Uniform(allocHeadroomAbs)).Clamp(0, 100)
+}
+
+// forecastInto builds the projected timeline. The arithmetic is identical at
+// every call site and with every scratch (buffer reuse never changes a
+// value), so the cached-aggregate property tests can compare it against
+// freshly allocated runs byte for byte.
+func (pr *Predictor) forecastInto(frames int, headroom bool, dst []resources.Vector, scratch *ForecastScratch) []resources.Vector {
+	curve := dst[:0]
 	loadSig, _ := pr.profile.Stage(profiler.LoadingStageID)
 	loadFrames := int(loadSig.MeanDurFrames + 0.5)
 	if loadFrames < 1 {
 		loadFrames = 2
 	}
-	loadAlloc := pad(loadSig.Peak)
+	loadAlloc := padDemand(loadSig.Peak, headroom)
 
 	// Working copy of the stage history for iterative prediction.
-	hist := make([]dataset.StageObs, len(pr.hist))
-	copy(hist, pr.hist)
+	hist := append(scratch.hist[:0], pr.hist...)
 	pos := pr.pos
-
-	emitStage := func(id int, remaining int) {
-		s, ok := pr.profile.Stage(id)
-		alloc := pr.peakM
-		if ok {
-			alloc = pad(s.Peak)
-		}
-		for i := 0; i < remaining && len(curve) < frames; i++ {
-			curve = append(curve, alloc)
-		}
-	}
 
 	// Phase 1: the rest of the current stage (or loading).
 	if pr.Loading() {
@@ -73,13 +96,17 @@ func (pr *Predictor) forecast(frames int, headroom bool) []resources.Vector {
 	} else if pr.haveStage {
 		s, ok := pr.profile.Stage(pr.curID)
 		remaining := 2
+		alloc := pr.peakM
 		if ok {
 			remaining = int(s.MeanDurFrames+0.5) - pr.curFrames
 			if remaining < 1 {
 				remaining = 1
 			}
+			alloc = padDemand(s.Peak, headroom)
 		}
-		emitStage(pr.curID, remaining)
+		for i := 0; i < remaining && len(curve) < frames; i++ {
+			curve = append(curve, alloc)
+		}
 		hist = append(hist, dataset.StageObs{
 			ID:     pr.curID,
 			Frames: pr.curFrames,
@@ -92,8 +119,8 @@ func (pr *Predictor) forecast(frames int, headroom bool) []resources.Vector {
 	for len(curve) < frames {
 		next := -1
 		if len(hist) > 0 {
-			feat := dataset.Features(hist, pos-1)
-			if n, err := pr.models[pr.active].Predict(feat); err == nil &&
+			scratch.feat = dataset.AppendFeatures(scratch.feat, hist, pos-1)
+			if n, err := pr.models[pr.active].Predict(scratch.feat); err == nil &&
 				n > profiler.LoadingStageID && n < pr.profile.NumStageTypes() {
 				next = n
 			}
@@ -111,15 +138,22 @@ func (pr *Predictor) forecast(frames int, headroom bool) []resources.Vector {
 		for i := 0; i < loadFrames && len(curve) < frames; i++ {
 			curve = append(curve, loadAlloc)
 		}
-		s, _ := pr.profile.Stage(next)
+		s, ok := pr.profile.Stage(next)
 		dur := int(s.MeanDurFrames + 0.5)
 		if dur < 1 {
 			dur = 2
 		}
-		emitStage(next, dur)
+		alloc := pr.peakM
+		if ok {
+			alloc = padDemand(s.Peak, headroom)
+		}
+		for i := 0; i < dur && len(curve) < frames; i++ {
+			curve = append(curve, alloc)
+		}
 		hist = append(hist, dataset.StageObs{ID: next, Frames: dur, Mean: s.Mean})
 		pos++
 	}
+	scratch.hist = hist[:0]
 	return curve
 }
 

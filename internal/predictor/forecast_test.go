@@ -1,0 +1,70 @@
+package predictor
+
+import (
+	"testing"
+
+	"cocg/internal/gamesim"
+	"cocg/internal/resources"
+)
+
+// TestForecastDemandIntoMatchesFresh drives a live session and, at every few
+// seconds, compares the scratch-reusing forecast against a freshly allocated
+// one: buffer reuse must never change a value. It simultaneously checks the
+// ForecastRev contract the distributor's cache rests on — while the revision
+// is unchanged, the forecast timeline is bit-identical to the previous one.
+func TestForecastDemandIntoMatchesFresh(t *testing.T) {
+	tr := trainedFor(t, gamesim.Contra())
+	sess, err := gamesim.NewSession(tr.Spec, 0, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := tr.NewSessionPredictor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const horizon = 120
+	var scratch ForecastScratch
+	var buf []resources.Vector
+	var prev []resources.Vector
+	prevRev := pr.ForecastRev()
+	revBumps := 0
+	checks := 0
+	for i := 0; i < 4*3600 && !sess.Done(); i++ {
+		demand := sess.Demand()
+		pr.Observe(demand)
+		sess.Step(pr.Alloc())
+
+		fresh := pr.ForecastDemand(horizon)
+		buf = pr.ForecastDemandInto(horizon, buf, &scratch)
+		if len(fresh) != len(buf) {
+			t.Fatalf("t=%d: reused forecast length %d != fresh %d", i, len(buf), len(fresh))
+		}
+		for ti := range fresh {
+			if fresh[ti] != buf[ti] {
+				t.Fatalf("t=%d frame %d: reused %v != fresh %v", i, ti, buf[ti], fresh[ti])
+			}
+		}
+		rev := pr.ForecastRev()
+		if rev == prevRev && prev != nil {
+			for ti := range fresh {
+				if fresh[ti] != prev[ti] {
+					t.Fatalf("t=%d frame %d: forecast changed (%v -> %v) with ForecastRev unchanged at %d",
+						i, ti, prev[ti], fresh[ti], rev)
+				}
+			}
+		}
+		if rev != prevRev {
+			revBumps++
+		}
+		prevRev = rev
+		prev = append(prev[:0], fresh...)
+		checks++
+	}
+	if checks == 0 {
+		t.Fatal("session produced no forecasts")
+	}
+	if revBumps == 0 {
+		t.Fatal("ForecastRev never advanced over a whole session")
+	}
+}

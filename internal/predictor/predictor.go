@@ -105,6 +105,14 @@ type Predictor struct {
 	alloc     resources.Vector
 	peakM     resources.Vector
 	haveStage bool
+	// rev counts completed detection frames: every piece of state a demand
+	// forecast reads (detector belief, stage history, running stage stats,
+	// pending prediction, active model) mutates only inside step, so a
+	// forecast is guaranteed unchanged while rev is unchanged. The
+	// distributor's per-server forecast cache invalidates on it.
+	rev uint64
+	// featBuf backs predictNext's feature assembly across frames.
+	featBuf []float64
 	// recovering is set while the session runs on a re-matched stage after
 	// a prediction or detection error; Section IV-B2 adds the redundancy S
 	// to allocations made in that state ("the utilization of callback
@@ -209,6 +217,7 @@ func (pr *Predictor) Observe(util resources.Vector) (Decision, bool) {
 // step runs the stage-judgment / prediction / adjustment pipeline of Fig. 8
 // on one frame.
 func (pr *Predictor) step(frame resources.Vector) Decision {
+	pr.rev++
 	ev := pr.det.Observe(frame)
 	d := Decision{Event: ev, PredictedNext: -1}
 
@@ -394,8 +403,8 @@ func (pr *Predictor) predictNext() int {
 	if len(pr.hist) == 0 {
 		return -1
 	}
-	feat := dataset.Features(pr.hist, pr.pos-1)
-	next, err := pr.models[pr.active].Predict(feat)
+	pr.featBuf = dataset.AppendFeatures(pr.featBuf, pr.hist, pr.pos-1)
+	next, err := pr.models[pr.active].Predict(pr.featBuf)
 	if err != nil || next < 0 || next >= pr.profile.NumStageTypes() {
 		return -1
 	}

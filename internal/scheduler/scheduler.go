@@ -74,9 +74,22 @@ func (c Config) withDefaults() Config {
 }
 
 // CoCG is the paper's scheduling policy over a set of offline-trained games.
+//
+// Concurrency: Admit and Score are serial entry points (they may insert into
+// the forecast-cache map). The cluster's parallel placement scan instead
+// calls PreparePlacement once, serially, then ScoreScratch concurrently —
+// after preparation every cache struct exists, the scan only reads the map,
+// and each server's cache is touched by exactly one scoring goroutine.
 type CoCG struct {
 	trained map[string]*predictor.Trained
 	cfg     Config
+
+	// caches holds one aggregate-forecast cache per server this policy has
+	// evaluated. A Policy is per-cluster (see the package comment), so the
+	// map can key on server identity.
+	caches map[*platform.Server]*serverCache
+	// scratch serves the serial entry points (Admit, Score).
+	scratch EvalScratch
 }
 
 // New builds the policy from the offline training bundles of every game the
@@ -86,7 +99,159 @@ func New(bundles []*predictor.Trained, cfg Config) *CoCG {
 	for _, b := range bundles {
 		m[b.Spec.Name] = b
 	}
-	return &CoCG{trained: m, cfg: cfg.withDefaults()}
+	return &CoCG{
+		trained: m,
+		cfg:     cfg.withDefaults(),
+		caches:  map[*platform.Server]*serverCache{},
+	}
+}
+
+// EvalScratch owns the reusable buffers one admission-evaluating goroutine
+// needs: the forecast scratch and the per-hosted curve buffer a cache refill
+// reads each hosted game's timeline into. A zero value is ready to use; a
+// scratch must not be shared between concurrent evaluations.
+type EvalScratch struct {
+	fc    predictor.ForecastScratch
+	curve []resources.Vector
+}
+
+// serverCache is the distributor's per-server aggregate forecast: the hosted
+// games' summed demand timeline plus the peak/floor aggregates Algorithm 1's
+// guards read, so evaluating a candidate only adds the candidate's own curve
+// instead of re-forecasting every hosted session per candidate per server.
+//
+// Validity is stamped, never pushed: the cache holds the server membership
+// revision and each hosted predictor's forecast revision at fill time, and
+// is rebuilt whenever any stamp (or the horizon) disagrees — admissions and
+// departures bump Server.Rev, completed detection frames bump ForecastRev,
+// and nothing else can change a forecast.
+type serverCache struct {
+	valid bool
+	// cacheable is false when any hosted session has a foreign controller or
+	// an untrained spec: those paths read hosted.Request, which mutates every
+	// tick outside any revision counter, so the cache is rebuilt per
+	// evaluation (exactly the old recompute, with reused storage).
+	cacheable  bool
+	rev        uint64
+	horizon    int
+	hostedRevs []uint64
+
+	// hostedFloor is the max FPS-floor over hosted games (order-independent,
+	// so caching it is exact).
+	hostedFloor float64
+	// hostedPeaks holds each hosted game's worst-case demand in hosted
+	// order; the exact peak-depth guard re-sums them per candidate to keep
+	// the original summation order.
+	hostedPeaks []resources.Vector
+	// sumPeaks is the order-insensitive total of hostedPeaks backing the
+	// O(1) pre-filter; it may differ from the exact ordered sum by float
+	// rounding, which the pre-filter's slack absorbs.
+	sumPeaks resources.Vector
+	// total is the hosted games' summed demand timeline, horizon frames
+	// long, accumulated in hosted order (float addition order matters).
+	total []resources.Vector
+
+	// memo caches evaluate's verdict per candidate game under the current
+	// stamps: Algorithm 1 is a pure function of the stamped server state and
+	// the candidate's immutable training bundle, so within one set of stamps
+	// repeated pending arrivals of the same game cost O(1) after the first.
+	memo map[string]evalMemo
+}
+
+// evalMemo is one memoized evaluate verdict.
+type evalMemo struct {
+	ok      bool
+	meanSat float64
+}
+
+// peakSlack bounds the summation-order rounding between sumPeaks and the
+// exact ordered peak sum: the pre-filter only skips a server when it exceeds
+// the scaled capacity by more than this, so every skip is one the exact
+// guard below would also reject.
+const peakSlack = 1e-6
+
+// PreparePlacement implements platform.PlacementPreparer: it creates the
+// cache structs for every server serially, so the concurrent scoring scan
+// never writes the map.
+func (c *CoCG) PreparePlacement(servers []*platform.Server) {
+	for _, srv := range servers {
+		if _, ok := c.caches[srv]; !ok {
+			c.caches[srv] = &serverCache{}
+		}
+	}
+}
+
+// refresh brings srv's cache up to date, rebuilding the aggregates when any
+// revision stamp (or the horizon) disagrees. The rebuild walks srv.Hosted
+// once in order, so every cached float is produced by the exact operation
+// sequence the uncached evaluate used.
+func (c *CoCG) refresh(cc *serverCache, srv *platform.Server, h int, es *EvalScratch) {
+	if cc.valid && cc.cacheable && cc.rev == srv.Rev() && cc.horizon == h && c.stampsMatch(cc, srv) {
+		return
+	}
+	cc.rev = srv.Rev()
+	cc.horizon = h
+	cc.cacheable = true
+	clear(cc.memo)
+	cc.hostedRevs = cc.hostedRevs[:0]
+	cc.hostedPeaks = cc.hostedPeaks[:0]
+	cc.hostedFloor = 0
+	cc.sumPeaks = resources.Zero
+	if cap(cc.total) < h {
+		cc.total = make([]resources.Vector, h)
+	}
+	cc.total = cc.total[:h]
+	for t := range cc.total {
+		cc.total[t] = resources.Zero
+	}
+	for _, hosted := range srv.Hosted {
+		if f := c.cfg.FPSSafety * 30 / hosted.Spec.EffectiveFPS(); f > cc.hostedFloor {
+			cc.hostedFloor = f
+		}
+		hb, trainedOK := c.trained[hosted.Spec.Name]
+		ctl, native := hosted.Controller.(*Controller)
+		if !trainedOK || !native {
+			cc.cacheable = false
+		}
+		var peak resources.Vector
+		if trainedOK {
+			peak = hb.Profile.PeakDemand()
+		} else {
+			peak = hosted.Request
+		}
+		cc.hostedPeaks = append(cc.hostedPeaks, peak)
+		cc.sumPeaks = cc.sumPeaks.Add(peak)
+		if native {
+			es.curve = ctl.pr.ForecastDemandInto(h, es.curve, &es.fc)
+			for t := 0; t < h && t < len(es.curve); t++ {
+				cc.total[t] = cc.total[t].Add(es.curve[t])
+			}
+			cc.hostedRevs = append(cc.hostedRevs, ctl.pr.ForecastRev())
+		} else {
+			// Foreign controller: assume its game holds its current request
+			// forever (the conservative flat timeline).
+			for t := 0; t < h; t++ {
+				cc.total[t] = cc.total[t].Add(hosted.Request)
+			}
+			cc.hostedRevs = append(cc.hostedRevs, 0)
+		}
+	}
+	cc.valid = true
+}
+
+// stampsMatch reports whether every hosted predictor's forecast revision
+// still equals its fill-time stamp.
+func (c *CoCG) stampsMatch(cc *serverCache, srv *platform.Server) bool {
+	if len(cc.hostedRevs) != len(srv.Hosted) {
+		return false
+	}
+	for i, hosted := range srv.Hosted {
+		ctl, ok := hosted.Controller.(*Controller)
+		if !ok || ctl.pr.ForecastRev() != cc.hostedRevs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Name implements platform.Policy.
@@ -137,7 +302,7 @@ func (c *CoCG) NewController(spec *gamesim.GameSpec, habit int64) (platform.Cont
 // window, the "distinguish game length" strategy of Section IV-C2 falls out
 // of the same test.
 func (c *CoCG) Admit(srv *platform.Server, spec *gamesim.GameSpec, habit int64) bool {
-	ok, _ := c.evaluate(srv, spec)
+	ok, _ := c.evaluate(srv, spec, &c.scratch)
 	return ok
 }
 
@@ -145,7 +310,20 @@ func (c *CoCG) Admit(srv *platform.Server, spec *gamesim.GameSpec, habit int64) 
 // admit the game, the cluster prefers the one whose predicted timelines are
 // most complementary to the arrival (highest predicted mean satisfaction).
 func (c *CoCG) Score(srv *platform.Server, spec *gamesim.GameSpec, habit int64) (float64, bool) {
-	ok, meanSat := c.evaluate(srv, spec)
+	return c.scoreWith(srv, spec, &c.scratch)
+}
+
+// NewScratch implements platform.ScratchScorer.
+func (c *CoCG) NewScratch() any { return &EvalScratch{} }
+
+// ScoreScratch implements platform.ScratchScorer: Score with all temporary
+// storage drawn from the scoring goroutine's own scratch.
+func (c *CoCG) ScoreScratch(srv *platform.Server, spec *gamesim.GameSpec, habit int64, scratch any) (float64, bool) {
+	return c.scoreWith(srv, spec, scratch.(*EvalScratch))
+}
+
+func (c *CoCG) scoreWith(srv *platform.Server, spec *gamesim.GameSpec, es *EvalScratch) (float64, bool) {
+	ok, meanSat := c.evaluate(srv, spec, es)
 	if !ok {
 		return 0, false
 	}
@@ -155,23 +333,52 @@ func (c *CoCG) Score(srv *platform.Server, spec *gamesim.GameSpec, habit int64) 
 }
 
 // evaluate runs the Algorithm 1 feasibility test and returns the predicted
-// mean satisfaction over the candidate's lifetime.
-func (c *CoCG) evaluate(srv *platform.Server, spec *gamesim.GameSpec) (bool, float64) {
+// mean satisfaction over the candidate's lifetime. It reads the server's
+// cached aggregate forecast (refreshed on revision mismatch), so the
+// steady-state cost per candidate is the horizon loop alone — and zero heap
+// allocations. Every float it produces is computed by the same operation
+// sequence as the original per-call recompute, so admission decisions are
+// bit-identical to the uncached implementation.
+func (c *CoCG) evaluate(srv *platform.Server, spec *gamesim.GameSpec, es *EvalScratch) (bool, float64) {
 	b, ok := c.trained[spec.Name]
 	if !ok {
 		return false, 0
 	}
 	h := c.cfg.HorizonFrames
 
+	cc := c.caches[srv]
+	if cc == nil {
+		// Serial entry (Admit/Score outside a prepared placement scan): safe
+		// to create the cache here. The parallel scan never reaches this —
+		// PreparePlacement pre-created every entry.
+		cc = &serverCache{}
+		c.caches[srv] = cc
+	}
+	c.refresh(cc, srv, h, es)
+
+	if m, hit := cc.memo[spec.Name]; hit {
+		return m.ok, m.meanSat
+	}
+	admitted, meanSat := c.verdict(cc, srv, b, spec)
+	if cc.memo == nil {
+		cc.memo = make(map[string]evalMemo, 8)
+	}
+	cc.memo[spec.Name] = evalMemo{ok: admitted, meanSat: meanSat}
+	return admitted, meanSat
+}
+
+// verdict is the uncached Algorithm 1 feasibility test against a refreshed
+// server cache.
+func (c *CoCG) verdict(cc *serverCache, srv *platform.Server, b *predictor.Trained, spec *gamesim.GameSpec) (bool, float64) {
+	h := cc.horizon
+
 	// The hard satisfaction floor: the most demanding frame lock among the
 	// games that would share the server. A 60 FPS-locked game needs half
 	// its demand satisfied to stay above 30 FPS; an uncapped 200 FPS game
 	// tolerates far deeper throttling.
 	satFloor := c.cfg.FPSSafety * 30 / spec.EffectiveFPS()
-	for _, hosted := range srv.Hosted {
-		if f := c.cfg.FPSSafety * 30 / hosted.Spec.EffectiveFPS(); f > satFloor {
-			satFloor = f
-		}
+	if cc.hostedFloor > satFloor {
+		satFloor = cc.hostedFloor
 	}
 	if satFloor > 1 {
 		return false, 0
@@ -184,36 +391,28 @@ func (c *CoCG) evaluate(srv *platform.Server, spec *gamesim.GameSpec) (bool, flo
 	// sustained violations the regulator cannot fix (execution stages have
 	// no time to steal). This is what leaves some heavy pairs "unable to
 	// run on the same machine" (Section V-B2).
-	peakSum := b.Profile.PeakDemand()
-	for _, hosted := range srv.Hosted {
-		if hb, ok := c.trained[hosted.Spec.Name]; ok {
-			peakSum = peakSum.Add(hb.Profile.PeakDemand())
-		} else {
-			peakSum = peakSum.Add(hosted.Request)
+	//
+	// Pre-filter first: the cached order-insensitive peak total makes the
+	// guard O(1) per dimension, skipping provably-infeasible servers before
+	// any per-hosted work. The slack keeps the skip sound under summation
+	// rounding; anything that passes still faces the exact ordered guard.
+	candPeak := b.Profile.PeakDemand()
+	scaledCap := srv.Capacity.Scale(2 - satFloor)
+	for d := range candPeak {
+		if candPeak[d]+cc.sumPeaks[d] > scaledCap[d]+peakSlack {
+			return false, 0
 		}
 	}
-	if !peakSum.Fits(srv.Capacity.Scale(2 - satFloor)) {
+	peakSum := candPeak
+	for _, peak := range cc.hostedPeaks {
+		peakSum = peakSum.Add(peak)
+	}
+	if !peakSum.Fits(scaledCap) {
 		return false, 0
 	}
 
-	// Hosted games' predicted demand timelines.
-	total := make([]resources.Vector, h)
-	for _, hosted := range srv.Hosted {
-		ctl, ok := hosted.Controller.(*Controller)
-		if !ok {
-			// Foreign controller: assume its game holds its current request
-			// forever (the conservative flat timeline).
-			for t := 0; t < h; t++ {
-				total[t] = total[t].Add(hosted.Request)
-			}
-			continue
-		}
-		curve := ctl.pr.ForecastDemand(h)
-		for t := 0; t < h && t < len(curve); t++ {
-			total[t] = total[t].Add(curve[t])
-		}
-	}
-	// The arriving game's expected footprint, from its profiling corpus.
+	// The arriving game's expected footprint, from its profiling corpus,
+	// overlaid on the cached hosted-demand timeline.
 	cand := b.TypicalCurve
 	limit := srv.Capacity.Sub(resources.Uniform(c.cfg.SafetyMargin))
 	// The judgment window is the candidate's expected lifetime (capped by
@@ -224,7 +423,7 @@ func (c *CoCG) evaluate(srv *platform.Server, spec *gamesim.GameSpec) (bool, flo
 	}
 	var satSum float64
 	for t := 0; t < window; t++ {
-		sum := total[t]
+		sum := cc.total[t]
 		if t < len(cand) {
 			sum = sum.Add(cand[t])
 		} else {

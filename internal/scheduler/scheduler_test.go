@@ -12,7 +12,7 @@ import (
 
 var bundleCache = map[string]*predictor.Trained{}
 
-func bundleFor(t *testing.T, spec *gamesim.GameSpec) *predictor.Trained {
+func bundleFor(t testing.TB, spec *gamesim.GameSpec) *predictor.Trained {
 	t.Helper()
 	if b, ok := bundleCache[spec.Name]; ok {
 		return b
@@ -25,7 +25,7 @@ func bundleFor(t *testing.T, spec *gamesim.GameSpec) *predictor.Trained {
 	return b
 }
 
-func policyFor(t *testing.T, specs ...*gamesim.GameSpec) *CoCG {
+func policyFor(t testing.TB, specs ...*gamesim.GameSpec) *CoCG {
 	t.Helper()
 	var bundles []*predictor.Trained
 	for _, s := range specs {
@@ -265,5 +265,133 @@ func TestScorePrefersAdmissibleServers(t *testing.T) {
 	}
 	if s1 <= s0-0.01 {
 		t.Errorf("busy server score %.4f not close to empty %.4f despite consolidation bias", s1, s0)
+	}
+}
+
+// TestCachedEvaluateMatchesFreshRecompute runs a live CoCG cluster — admits,
+// departures, and a predictor stage transition every frame — and repeatedly
+// compares the long-lived policy's cached evaluation against a fresh policy
+// instance with empty caches over the very same servers and controllers. The
+// verdicts, scores, and cached aggregate timelines must agree bit for bit,
+// which is the cache-invalidation contract: stamps catch every mutation a
+// forecast can depend on.
+func TestCachedEvaluateMatchesFreshRecompute(t *testing.T) {
+	do, co := gamesim.DOTA2(), gamesim.Contra()
+	bundles := []*predictor.Trained{bundleFor(t, do), bundleFor(t, co)}
+	p := New(bundles, Config{})
+	c := platform.NewCluster(3, p)
+	c.Jobs = 3
+	specs := []*gamesim.GameSpec{do, co}
+
+	next := 0
+	for tick := 0; tick < 2400; tick++ {
+		if tick%40 == 0 {
+			spec := specs[next%len(specs)]
+			c.Submit(platform.Arrival{
+				Spec:        spec,
+				Script:      next % len(spec.Scripts),
+				Habit:       int64(next),
+				SessionSeed: int64(500 + next),
+			})
+			next++
+		}
+		c.Tick()
+		if tick%100 != 99 {
+			continue
+		}
+		ref := New(bundles, Config{})
+		for _, srv := range c.Servers {
+			for i, spec := range specs {
+				gs, gok := p.Score(srv, spec, int64(i))
+				ws, wok := ref.Score(srv, spec, int64(i))
+				if gok != wok || gs != ws {
+					t.Fatalf("tick %d server %d %s: cached (%v, %v) != fresh (%v, %v)",
+						tick, srv.ID, spec.Name, gs, gok, ws, wok)
+				}
+			}
+			cp, rp := p.caches[srv], ref.caches[srv]
+			if cp == nil || rp == nil || !cp.valid || !rp.valid {
+				t.Fatalf("tick %d server %d: missing or invalid cache after scoring", tick, srv.ID)
+			}
+			if len(cp.total) != len(rp.total) {
+				t.Fatalf("tick %d server %d: timeline length %d != %d", tick, srv.ID, len(cp.total), len(rp.total))
+			}
+			for ti := range cp.total {
+				if cp.total[ti] != rp.total[ti] {
+					t.Fatalf("tick %d server %d frame %d: cached timeline %v != fresh %v",
+						tick, srv.ID, ti, cp.total[ti], rp.total[ti])
+				}
+			}
+		}
+	}
+	if c.Placements == 0 {
+		t.Error("stream placed nothing; the comparison proved nothing")
+	}
+	if len(c.Records()) == 0 {
+		t.Error("no session departed; the membership-revision stamp went unexercised")
+	}
+}
+
+// evalFixture builds a warm one-server CoCG cluster hosting two games, so
+// evaluate's steady state — valid stamps, no refill — can be measured.
+func evalFixture(tb testing.TB) (*CoCG, *platform.Server, *gamesim.GameSpec) {
+	ga, do := gamesim.GenshinImpact(), gamesim.DOTA2()
+	p := policyFor(tb, ga, do)
+	c := platform.NewCluster(1, p)
+	srv := c.Servers[0]
+	for i, spec := range []*gamesim.GameSpec{ga, do} {
+		sess, err := gamesim.NewSession(spec, 0, int64(9+i))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		ctl, err := p.NewController(spec, int64(i+1))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		srv.Add(spec, sess, ctl)
+	}
+	for i := 0; i < 31; i++ {
+		c.Tick()
+	}
+	return p, srv, do
+}
+
+func TestEvaluateSteadyStateAllocationFree(t *testing.T) {
+	p, srv, spec := evalFixture(t)
+	p.Score(srv, spec, 1) // fill the cache and memo
+	if n := testing.AllocsPerRun(200, func() { p.Score(srv, spec, 1) }); n != 0 {
+		t.Errorf("memoized steady-state Score allocates %.1f/op, want 0", n)
+	}
+	cc := p.caches[srv]
+	if cc == nil || !cc.cacheable {
+		t.Fatal("fixture server unexpectedly uncacheable")
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		clear(cc.memo)
+		p.Score(srv, spec, 1)
+	}); n != 0 {
+		t.Errorf("warm unmemoized Score allocates %.1f/op, want 0", n)
+	}
+}
+
+func BenchmarkEvaluateSteadyState(b *testing.B) {
+	p, srv, spec := evalFixture(b)
+	p.Score(srv, spec, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Score(srv, spec, 1)
+	}
+}
+
+func BenchmarkEvaluateWarmUnmemoized(b *testing.B) {
+	p, srv, spec := evalFixture(b)
+	p.Score(srv, spec, 1)
+	cc := p.caches[srv]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clear(cc.memo)
+		p.Score(srv, spec, 1)
 	}
 }
