@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt lint bench bench-fleet bench-record
+.PHONY: all build test race fmt lint bench bench-fleet bench-record bench-stream
 
 all: build test
 
@@ -53,3 +53,17 @@ BENCH_OUT ?= BENCH_PR4.json
 BENCH_BASELINE ?=
 bench-record: lint
 	$(GO) run ./cmd/cocg-bench -out $(BENCH_OUT) $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
+
+# bench-stream runs the serving-path benchmarks (binary vs JSON codec,
+# sharded vs global-lock registry, pooled parallel tick walk vs the legacy
+# serial/allocating walk at 256+ sessions) through cmd/cocg-bench and records
+# BENCH_PR5.json. The legacy-path benchmarks are kept in-tree as the "before"
+# and are recorded first, then embedded as the baseline of the full record —
+# one self-contained before/after artifact. Lint-gated like every recorded
+# measurement.
+STREAM_BENCH_OUT ?= BENCH_PR5.json
+bench-stream: lint
+	$(GO) run ./cmd/cocg-bench -bench 'WireFrameBatchJSON|RegistryGlobalLock|StreamTick256Legacy' \
+		-pkgs ./internal/streaming -out /tmp/cocg-stream-baseline.json
+	$(GO) run ./cmd/cocg-bench -bench 'WireFrameBatch|Registry|StreamTick' \
+		-pkgs ./internal/streaming -baseline /tmp/cocg-stream-baseline.json -out $(STREAM_BENCH_OUT)

@@ -1,0 +1,167 @@
+// Command cocg-loadgen drives a fleet of concurrent cocg-client sessions
+// against a running cocg-server and reports the serving-path throughput the
+// way a load-test harness would: admission rate, aggregate frame-batch
+// throughput, the p50/p99 inter-batch delivery latency seen by clients, and
+// how many batches the server shed under backpressure.
+//
+// Usage:
+//
+//	cocg-loadgen [-addr host:port] [-n 64] [-c 32] [-game Contra] [-script -1]
+//	             [-proto binary|json] [-timeout 2m]
+//
+// A -script of -1 rotates every session through the game's script list, so
+// the offered load exercises all trained stage mixes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cocg/internal/gamesim"
+	"cocg/internal/parallel"
+	"cocg/internal/streaming"
+)
+
+// sessionResult is one finished (or failed) session's client-side record.
+type sessionResult struct {
+	stats *streaming.ClientStats
+	gaps  []float64 // inter-batch arrival gaps, milliseconds
+	err   error
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9555", "server address")
+	n := flag.Int("n", 64, "total sessions to play")
+	c := flag.Int("c", 32, "concurrent sessions in flight")
+	game := flag.String("game", "Contra", "game to request")
+	script := flag.Int("script", -1, "script index; -1 rotates through the game's scripts")
+	proto := flag.String("proto", "binary", "max wire protocol to offer: binary or json (legacy)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-session timeout")
+	flag.Parse()
+
+	protos := map[string]int{"binary": streaming.ProtoBinary, "json": streaming.ProtoJSON}
+	maxProto, ok := protos[strings.ToLower(*proto)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cocg-loadgen: unknown protocol %q\n", *proto)
+		os.Exit(2)
+	}
+	spec, err := gamesim.GameByName(*game)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cocg-loadgen:", err)
+		os.Exit(2)
+	}
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "cocg-loadgen: -n must be positive")
+		os.Exit(2)
+	}
+
+	fmt.Printf("cocg-loadgen: %d sessions of %s against %s (%s wire, %d in flight)\n",
+		*n, spec.Name, *addr, *proto, *c)
+
+	results := make([]sessionResult, *n)
+	var inFlight, peak atomic.Int64
+	grp := parallel.NewGroup(*c)
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		i := i
+		grp.Go(func() error {
+			cur := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			defer inFlight.Add(-1)
+			r := &results[i]
+			sc := *script
+			if sc < 0 {
+				sc = i % len(spec.Scripts)
+			}
+			var mu sync.Mutex
+			var last time.Time
+			r.stats, r.err = streaming.Play(*addr, streaming.ClientConfig{
+				Game: spec.Name, Script: sc, Timeout: *timeout, MaxProto: maxProto,
+				OnFrames: func(f *streaming.FrameBatch) {
+					now := time.Now()
+					mu.Lock()
+					if !last.IsZero() {
+						r.gaps = append(r.gaps, float64(now.Sub(last))/float64(time.Millisecond))
+					}
+					last = now
+					mu.Unlock()
+				},
+			})
+			return nil // failures are reported in the summary, not fatal
+		})
+	}
+	if err := grp.Wait(); err != nil {
+		fmt.Fprintln(os.Stderr, "cocg-loadgen:", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	var completed, rejected int
+	var frames, drops int64
+	var rttSum float64
+	var rttN int
+	var lat []float64
+	var firstErr error
+	for _, r := range results {
+		if r.err != nil {
+			rejected++
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		completed++
+		frames += int64(r.stats.Frames)
+		drops += int64(r.stats.SeqGaps)
+		if r.stats.MeanRTTMS > 0 {
+			rttSum += r.stats.MeanRTTMS
+			rttN++
+		}
+		lat = append(lat, r.gaps...)
+	}
+	sort.Float64s(lat)
+
+	fmt.Printf("finished in %.2f s (peak %d sessions in flight)\n", elapsed.Seconds(), peak.Load())
+	fmt.Printf("  sessions: %d completed, %d failed — %.2f sessions/sec\n",
+		completed, rejected, float64(completed)/elapsed.Seconds())
+	if firstErr != nil {
+		fmt.Printf("  (first failure: %v)\n", firstErr)
+	}
+	fmt.Printf("  frames:   %d batches — %.0f frames/sec aggregate\n",
+		frames, float64(frames)/elapsed.Seconds())
+	if len(lat) > 0 {
+		fmt.Printf("  delivery: p50 %.2f ms, p99 %.2f ms between batches\n",
+			percentile(lat, 0.50), percentile(lat, 0.99))
+	}
+	if rttN > 0 {
+		fmt.Printf("  input:    mean RTT %.1f ms across %d sessions\n", rttSum/float64(rttN), rttN)
+	}
+	fmt.Printf("  drops:    %d sequence gaps (batches coalesced or dropped under backpressure)\n", drops)
+	if completed == 0 {
+		os.Exit(1)
+	}
+}
+
+// percentile returns the p-quantile (0..1) of a sorted sample by
+// nearest-rank; the sample must be non-empty.
+func percentile(sorted []float64, p float64) float64 {
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

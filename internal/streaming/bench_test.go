@@ -1,0 +1,287 @@
+package streaming
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cocg/internal/core"
+	"cocg/internal/gamesim"
+	"cocg/internal/parallel"
+)
+
+// benchFrameBatch is a realistic per-tick payload: one 60 FPS detection
+// frame's worth of encoded video, as the server emits at steady state.
+func benchFrameBatch() *Envelope {
+	e := DefaultEncoder()
+	return &Envelope{Type: MsgFrames, Frames: &FrameBatch{
+		SessionID: 117, Seq: 4242, FPS: 60, BitrateKbps: 8000, Stage: 3,
+		EchoSeq: 4201, EchoSentAtMS: 99171234,
+		Frames: e.AppendFrames(nil, 60, 8000),
+	}}
+}
+
+// BenchmarkWireFrameBatchEncode is the per-session encode hot path over the
+// binary codec: serializing one frame batch into a reused buffer. Must stay
+// at 0 allocs/op.
+func BenchmarkWireFrameBatchEncode(b *testing.B) {
+	env := benchFrameBatch()
+	buf, err := env.AppendTo(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = env.AppendTo(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireFrameBatchDecode is the client-side mirror: decoding a frame
+// batch into a reused envelope. Must stay at 0 allocs/op.
+func BenchmarkWireFrameBatchDecode(b *testing.B) {
+	blob, err := benchFrameBatch().AppendTo(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := blob[4:]
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	var env Envelope
+	if err := env.DecodeFrom(body); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.DecodeFrom(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireFrameBatchJSONEncode is the pre-PR5 wire path for the same
+// payload: the JSON codec, one marshal per batch. Kept in-tree as the
+// recorded baseline for BENCH_PR5.json.
+func BenchmarkWireFrameBatchJSONEncode(b *testing.B) {
+	env := benchFrameBatch()
+	blob, err := json.Marshal(env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireFrameBatchJSONDecode is the pre-PR5 client-side mirror.
+func BenchmarkWireFrameBatchJSONDecode(b *testing.B) {
+	blob, err := json.Marshal(benchFrameBatch())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var env Envelope
+		if err := json.Unmarshal(blob, &env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistryShardedChurn hammers the sharded session registry from
+// GOMAXPROCS goroutines with the live mix of operations: admissions,
+// teardowns, and count reads.
+func BenchmarkRegistryShardedChurn(b *testing.B) {
+	var r registry
+	var nextID atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := nextID.Add(1)
+			r.add(&liveSession{id: id})
+			_ = r.len()
+			r.remove(id)
+		}
+	})
+}
+
+// BenchmarkRegistryGlobalLockChurn is the pre-PR5 registry — one mutex, one
+// map — under the identical operation mix. Kept in-tree as the recorded
+// baseline for BENCH_PR5.json.
+func BenchmarkRegistryGlobalLockChurn(b *testing.B) {
+	var mu sync.Mutex
+	sessions := make(map[int64]*liveSession)
+	var nextID atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := nextID.Add(1)
+			mu.Lock()
+			sessions[id] = &liveSession{id: id}
+			mu.Unlock()
+			mu.Lock()
+			_ = len(sessions)
+			mu.Unlock()
+			mu.Lock()
+			delete(sessions, id)
+			mu.Unlock()
+		}
+	})
+}
+
+// benchSessions registers n wire-less live sessions on a served cluster and
+// warms them past the loading screen, returning the server and a frozen
+// session snapshot. The simulation is then left untouched so every measured
+// op sees the identical steady state.
+func benchSessions(b *testing.B, n int) (*Server, []*liveSession) {
+	b.Helper()
+	s, err := Serve("127.0.0.1:0", ServerConfig{
+		System:    testSystem(b),
+		Policy:    core.PolicyCoCG,
+		Servers:   16,
+		TickEvery: time.Hour, // the benchmark owns the tick cadence
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	specs := []*gamesim.GameSpec{gamesim.Contra(), gamesim.GenshinImpact()}
+	for i := 0; i < n; i++ {
+		spec := specs[i%len(specs)]
+		habit := int64(1000 + i%7)
+		sess, err := gamesim.NewPlayerSession(spec, i%len(spec.Scripts), habit, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctl, err := s.cluster.Policy.NewController(spec, habit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv := s.cluster.Servers[i%len(s.cluster.Servers)]
+		hosted := srv.Add(spec, sess, ctl)
+		s.reg.add(&liveSession{id: int64(i + 1), hosted: hosted, proto: ProtoBinary, out: newOutQueue(8)})
+	}
+	// Warm every session past its loading screen, then drain the queues.
+	snap := s.reg.snapshotInto(nil)
+	for t := 0; t < 80; t++ {
+		s.tickOnce()
+	}
+	for _, ls := range snap {
+		for {
+			e, ok := ls.out.tryPop()
+			if !ok {
+				break
+			}
+			putFramesEnv(e)
+		}
+	}
+	return s, snap
+}
+
+// benchStreamTick measures one steady-state delivery walk over n live
+// sessions at the given fan-out: every session gets a frame batch emitted
+// through the pooled pipeline, pushed to its bounded queue, drained, and
+// encoded to wire bytes — exactly what the per-session writer does, minus
+// the socket. The simulation clock is frozen, so every op is identical.
+func benchStreamTick(b *testing.B, n, jobs int) {
+	s, snap := benchSessions(b, n)
+	s.tickBoundary = true
+	nchunks := parallel.NumChunksOf(len(snap), tickChunk)
+	bufs := make([][]byte, nchunks)
+	body := func(chunk, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ls := snap[i]
+			s.emitSession(ls)
+			for {
+				e, ok := ls.out.tryPop()
+				if !ok {
+					break
+				}
+				var err error
+				bufs[chunk], err = e.AppendTo(bufs[chunk][:0])
+				putFramesEnv(e)
+				if err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	// One warm walk sizes the pools and buffers before measuring.
+	if jobs <= 1 {
+		body(0, 0, len(snap))
+	} else {
+		parallel.ForChunksOf(jobs, len(snap), tickChunk, body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if jobs <= 1 {
+			body(0, 0, len(snap))
+		} else {
+			parallel.ForChunksOf(jobs, len(snap), tickChunk, body)
+		}
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(perOp*1e9/float64(n), "ns/session")
+	b.ReportMetric(float64(n)/perOp, "frames/sec")
+}
+
+func BenchmarkStreamTick256Jobs1(b *testing.B) { benchStreamTick(b, 256, 1) }
+func BenchmarkStreamTick256Jobs8(b *testing.B) { benchStreamTick(b, 256, 8) }
+func BenchmarkStreamTick1024Jobs8(b *testing.B) {
+	benchStreamTick(b, 1024, 8)
+}
+
+// BenchmarkStreamTick256Legacy is the pre-PR5 delivery walk over the same
+// 256 sessions: one global lock serializing the whole pass, a freshly
+// allocated envelope and frame slice per session, and the JSON codec. Kept
+// in-tree as the recorded baseline for BENCH_PR5.json.
+func BenchmarkStreamTick256Legacy(b *testing.B) {
+	s, snap := benchSessions(b, 256)
+	s.tickBoundary = true
+	var mu sync.Mutex // the old code held one mutex across the entire walk
+	var seq int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mu.Lock()
+		for _, ls := range snap {
+			sess := ls.hosted.Session
+			loading := sess.Phase() == gamesim.PhaseLoading
+			fps := sess.LastFPS()
+			seq++
+			kbps := s.cfg.Encoder.Encode(fps, ls.hosted.Granted, loading)
+			env := &Envelope{Type: MsgFrames, Frames: &FrameBatch{
+				SessionID:   ls.id,
+				Seq:         seq,
+				FPS:         fps,
+				BitrateKbps: kbps,
+				Stage:       sess.StageType(),
+				Loading:     loading,
+				Frames:      s.cfg.Encoder.AppendFrames(nil, fps, kbps),
+			}}
+			if _, err := json.Marshal(env); err != nil {
+				b.Fatal(err)
+			}
+		}
+		mu.Unlock()
+	}
+	b.StopTimer()
+	perOp := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(perOp*1e9/256, "ns/session")
+	b.ReportMetric(256/perOp, "frames/sec")
+}

@@ -16,7 +16,9 @@ var ErrRejected = errors.New("streaming: session rejected")
 type ClientStats struct {
 	Game        string
 	SessionID   int64
+	Proto       int     // negotiated wire protocol version
 	Frames      int     // frame batches received
+	SeqGaps     int     // batches the server dropped or coalesced under backpressure
 	LoadingSec  int     // seconds spent on loading screens
 	MeanFPS     float64 // mean of received per-second frame rates
 	MeanBitrate float64 // kbps
@@ -42,17 +44,30 @@ type ClientConfig struct {
 	// reported in ClientStats.Net (the operator-managed connection of
 	// Fig. 1).
 	Link *netmodel.Link
+	// MaxProto caps the wire protocol the client offers in its Hello;
+	// 0 means the newest version, ProtoJSON emulates a legacy client.
+	MaxProto int
+	// OnFrames, when set, observes every received frame batch before it is
+	// folded into the statistics — the load generator's timing hook. The
+	// batch is only valid for the duration of the call (its storage is
+	// reused for the next receive).
+	OnFrames func(f *FrameBatch)
 }
 
 // Play connects to a streaming server, plays one full session, and returns
 // the client-side statistics — the measurement point of the player
-// experience in Fig. 1.
+// experience in Fig. 1. The handshake always runs over JSON; the session
+// body uses whatever protocol version the server negotiated, received into
+// one reused envelope so the per-batch client cost is allocation-free.
 func Play(addr string, cfg ClientConfig) (*ClientStats, error) {
 	if cfg.InputEvery <= 0 {
 		cfg.InputEvery = 2
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Minute
+	}
+	if cfg.MaxProto <= 0 {
+		cfg.MaxProto = maxKnownProto
 	}
 	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
@@ -66,7 +81,7 @@ func Play(addr string, cfg ClientConfig) (*ClientStats, error) {
 	defer func() { _ = conn.Close() }() // teardown; session errors surface first
 
 	if err := conn.Send(&Envelope{Type: MsgHello, Hello: &Hello{
-		Game: cfg.Game, Script: cfg.Script, Habit: cfg.Habit,
+		Game: cfg.Game, Script: cfg.Script, Habit: cfg.Habit, Proto: cfg.MaxProto,
 	}}); err != nil {
 		return nil, err
 	}
@@ -81,20 +96,31 @@ func Play(addr string, cfg ClientConfig) (*ClientStats, error) {
 	default:
 		return nil, fmt.Errorf("streaming: unexpected reply %q", env.Type)
 	}
+	proto := NegotiateProto(cfg.MaxProto, env.Accept.Proto)
+	conn.SetProto(proto)
 
-	stats := &ClientStats{Game: cfg.Game, SessionID: env.Accept.SessionID}
+	stats := &ClientStats{Game: cfg.Game, SessionID: env.Accept.SessionID, Proto: proto}
 	var fpsSum, brSum, rttSum float64
 	var rttN int
-	var inputSeq int64
+	var inputSeq, lastSeq int64
+	var recv Envelope                               // reused across every receive
+	input := InputBatch{Codes: make([]byte, 0, 32)} // reused input batch
+	inputEnv := Envelope{Type: MsgInput, Input: &input}
 	for {
-		env, err := conn.Recv()
-		if err != nil {
+		if err := conn.RecvInto(&recv); err != nil {
 			return nil, err
 		}
-		switch env.Type {
+		switch recv.Type {
 		case MsgFrames:
-			f := env.Frames
+			f := recv.Frames
+			if cfg.OnFrames != nil {
+				cfg.OnFrames(f)
+			}
 			stats.Frames++
+			if lastSeq > 0 && f.Seq > lastSeq+1 {
+				stats.SeqGaps += int(f.Seq - lastSeq - 1)
+			}
+			lastSeq = f.Seq
 			fpsSum += f.FPS
 			brSum += f.BitrateKbps
 			if cfg.Link != nil {
@@ -109,17 +135,17 @@ func Play(addr string, cfg ClientConfig) (*ClientStats, error) {
 			}
 			if stats.Frames%cfg.InputEvery == 0 {
 				inputSeq++
-				if err := conn.Send(&Envelope{Type: MsgInput, Input: &InputBatch{
-					SessionID: stats.SessionID,
-					Seq:       inputSeq,
-					Events:    30,
-					SentAtMS:  time.Now().UnixMilli(),
-				}}); err != nil {
+				input.SessionID = stats.SessionID
+				input.Seq = inputSeq
+				input.Events = 30
+				input.SentAtMS = time.Now().UnixMilli()
+				input.Codes = appendInputCodes(input.Codes[:0], inputSeq, input.Events)
+				if err := conn.Send(&inputEnv); err != nil {
 					return nil, err
 				}
 			}
 		case MsgEnd:
-			stats.Final = *env.End
+			stats.Final = *recv.End
 			if stats.Frames > 0 {
 				stats.MeanFPS = fpsSum / float64(stats.Frames)
 				stats.MeanBitrate = brSum / float64(stats.Frames)
@@ -127,9 +153,20 @@ func Play(addr string, cfg ClientConfig) (*ClientStats, error) {
 			if rttN > 0 {
 				stats.MeanRTTMS = rttSum / float64(rttN)
 			}
+			conn.Release()
 			return stats, nil
 		default:
-			return nil, fmt.Errorf("streaming: unexpected mid-session message %q", env.Type)
+			return nil, fmt.Errorf("streaming: unexpected mid-session message %q", recv.Type)
 		}
 	}
+}
+
+// appendInputCodes synthesizes the event codes for one input batch into the
+// reused backing array: a deterministic walk of the key space standing in
+// for real controller traffic.
+func appendInputCodes(dst []byte, seq int64, events int) []byte {
+	for i := 0; i < events; i++ {
+		dst = append(dst, byte((seq+int64(i)*7)&0x7f))
+	}
+	return dst
 }

@@ -39,6 +39,38 @@ func (e Encoder) Encode(fps float64, demand resources.Vector, loading bool) floa
 	return clamp(rate, e.MinKbps, e.MaxKbps)
 }
 
+// AppendFrames appends the per-frame records for one encoded second — one
+// FrameInfo per delivered frame, sizes summing to the second's bitrate, the
+// first frame an intra (key) frame carrying keyframeWeight deltas' worth of
+// bits — and returns the extended slice. The tick pipeline calls it with the
+// pooled batch's reused backing array, so steady-state encoding allocates
+// nothing. The split is pure integer math on (fps, kbps): deterministic for
+// a deterministic simulation.
+func (e Encoder) AppendFrames(dst []FrameInfo, fps, kbps float64) []FrameInfo {
+	n := int(fps + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > 240 {
+		n = 240
+	}
+	totalBytes := int64(kbps * 1000 / 8)
+	if totalBytes < int64(n) {
+		totalBytes = int64(n) // at least one byte per frame
+	}
+	// One keyframe weighing keyframeWeight delta frames, n-1 deltas.
+	delta := totalBytes / int64(n-1+keyframeWeight)
+	key := totalBytes - delta*int64(n-1)
+	dst = append(dst, FrameInfo{SizeBytes: uint32(key), Key: true})
+	for i := 1; i < n; i++ {
+		dst = append(dst, FrameInfo{SizeBytes: uint32(delta)})
+	}
+	return dst
+}
+
+// keyframeWeight is how many delta frames one keyframe costs.
+const keyframeWeight = 4
+
 func clamp(x, lo, hi float64) float64 {
 	if x < lo {
 		return lo

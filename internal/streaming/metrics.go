@@ -18,13 +18,22 @@ func (s *Server) MetricsHandler() http.Handler {
 	return mux
 }
 
-// snapshot collects a consistent view under the server lock.
+// snapshot collects a consistent view of the scheduled cluster under the
+// cluster lock, plus the lock-free delivery counters.
 type snapshot struct {
 	LiveSessions int              `json:"live_sessions"`
 	Placements   int              `json:"placements"`
 	Pending      int              `json:"pending"`
 	Completed    int              `json:"completed"`
 	Servers      []serverSnapshot `json:"servers"`
+
+	// Delivery-path counters (monotonic since start).
+	FramesSent      uint64 `json:"frames_sent"`
+	FramesCoalesced uint64 `json:"frames_coalesced"`
+	FramesDropped   uint64 `json:"frames_dropped"`
+	ShardContention uint64 `json:"shard_contention"`
+	SessionsJSON    uint64 `json:"sessions_json"`
+	SessionsBinary  uint64 `json:"sessions_binary"`
 }
 
 type serverSnapshot struct {
@@ -35,10 +44,9 @@ type serverSnapshot struct {
 }
 
 func (s *Server) snapshot() snapshot {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clusterMu.Lock()
 	out := snapshot{
-		LiveSessions: len(s.sessions),
+		LiveSessions: s.reg.len(),
 		Placements:   s.cluster.Placements,
 		Pending:      len(s.cluster.Pending),
 	}
@@ -51,6 +59,13 @@ func (s *Server) snapshot() snapshot {
 			Peak:   srv.PeakUtilization(),
 		})
 	}
+	s.clusterMu.Unlock()
+	out.FramesSent = s.framesSent.Load()
+	out.FramesCoalesced = s.framesCoalesced.Load()
+	out.FramesDropped = s.framesDropped.Load()
+	out.ShardContention = s.reg.contention.Load()
+	out.SessionsJSON = s.protoSessions[ProtoJSON].Load()
+	out.SessionsBinary = s.protoSessions[ProtoBinary].Load()
 	return out
 }
 
@@ -65,6 +80,18 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE cocg_pending_arrivals gauge\ncocg_pending_arrivals %d\n", snap.Pending)
 	fmt.Fprintf(w, "# HELP cocg_completed_sessions_total Sessions finished since start.\n")
 	fmt.Fprintf(w, "# TYPE cocg_completed_sessions_total counter\ncocg_completed_sessions_total %d\n", snap.Completed)
+	fmt.Fprintf(w, "# HELP cocg_stream_frames_sent_total Frame batches delivered to clients.\n")
+	fmt.Fprintf(w, "# TYPE cocg_stream_frames_sent_total counter\ncocg_stream_frames_sent_total %d\n", snap.FramesSent)
+	fmt.Fprintf(w, "# HELP cocg_stream_frames_coalesced_total Frame batches coalesced under backpressure.\n")
+	fmt.Fprintf(w, "# TYPE cocg_stream_frames_coalesced_total counter\ncocg_stream_frames_coalesced_total %d\n", snap.FramesCoalesced)
+	fmt.Fprintf(w, "# HELP cocg_stream_frames_dropped_total Frame batches dropped oldest-first under backpressure.\n")
+	fmt.Fprintf(w, "# TYPE cocg_stream_frames_dropped_total counter\ncocg_stream_frames_dropped_total %d\n", snap.FramesDropped)
+	fmt.Fprintf(w, "# HELP cocg_stream_shard_contention_total Session-registry shard lock acquisitions that found the lock held.\n")
+	fmt.Fprintf(w, "# TYPE cocg_stream_shard_contention_total counter\ncocg_stream_shard_contention_total %d\n", snap.ShardContention)
+	fmt.Fprintf(w, "# HELP cocg_stream_sessions_total Sessions admitted, by negotiated wire protocol.\n")
+	fmt.Fprintf(w, "# TYPE cocg_stream_sessions_total counter\n")
+	fmt.Fprintf(w, "cocg_stream_sessions_total{proto=\"json\"} %d\n", snap.SessionsJSON)
+	fmt.Fprintf(w, "cocg_stream_sessions_total{proto=\"binary\"} %d\n", snap.SessionsBinary)
 	fmt.Fprintf(w, "# HELP cocg_server_hosted Games hosted per backend server.\n")
 	fmt.Fprintf(w, "# TYPE cocg_server_hosted gauge\n")
 	for _, srv := range snap.Servers {

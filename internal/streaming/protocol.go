@@ -4,15 +4,20 @@
 // events back. The co-location scheduler decides what runs where; this
 // package carries the player-facing loop around it.
 //
-// The wire protocol is newline-delimited JSON — small, debuggable, and
-// entirely stdlib.
+// Two wire framings are spoken over the same connection: newline-delimited
+// JSON (small, debuggable, entirely stdlib — every connection starts here)
+// and a length-prefixed binary codec negotiated in the Hello/Accept
+// handshake (see wire.go), which the high-throughput tick pipeline uses to
+// stream frame batches without per-message allocation.
 package streaming
 
 import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"sync"
 )
 
 // MsgType discriminates wire messages.
@@ -46,19 +51,26 @@ type Envelope struct {
 	End    *SessionStat `json:"end,omitempty"`
 }
 
-// Hello opens a session.
+// Hello opens a session. It is always sent in the JSON framing.
 type Hello struct {
 	Game   string `json:"game"`
 	Script int    `json:"script"`
 	// Habit identifies a returning player; 0 lets the server assign one.
 	Habit int64 `json:"habit,omitempty"`
+	// Proto is the highest wire protocol version the client speaks;
+	// 0 (an old client that predates negotiation) means ProtoJSON.
+	Proto int `json:"proto,omitempty"`
 }
 
-// Accept confirms placement.
+// Accept confirms placement. It is always sent in the JSON framing; both
+// sides switch to the negotiated Proto for everything after it.
 type Accept struct {
 	SessionID int64  `json:"session_id"`
 	Server    int    `json:"server"`
 	Game      string `json:"game"`
+	// Proto is the wire protocol version the server chose for the rest of
+	// the session; 0 (an old server) means ProtoJSON.
+	Proto int `json:"proto,omitempty"`
 }
 
 // Reject declines a Hello.
@@ -72,6 +84,17 @@ type InputBatch struct {
 	Seq       int64 `json:"seq"`
 	Events    int   `json:"events"`
 	SentAtMS  int64 `json:"sent_at_ms"`
+	// Codes carries one opaque code per event (key/button identifiers).
+	// Clients reuse the backing array across batches.
+	Codes []byte `json:"codes,omitempty"`
+}
+
+// FrameInfo describes one encoded video frame inside a batch.
+type FrameInfo struct {
+	// SizeBytes is the encoded size of this frame.
+	SizeBytes uint32 `json:"size_bytes"`
+	// Key marks an intra (key) frame.
+	Key bool `json:"key,omitempty"`
 }
 
 // FrameBatch is one virtual second of encoded video.
@@ -90,6 +113,10 @@ type FrameBatch struct {
 	EchoSeq int64 `json:"echo_seq"`
 	// EchoSentAtMS echoes that input's send timestamp.
 	EchoSentAtMS int64 `json:"echo_sent_at_ms"`
+	// Frames lists the per-frame encoder output for this second. The tick
+	// pipeline reuses the backing array across batches (see Envelope
+	// pooling in server.go), so receivers must not retain it.
+	Frames []FrameInfo `json:"frames,omitempty"`
 }
 
 // SessionStat closes a session.
@@ -101,40 +128,131 @@ type SessionStat struct {
 	Degraded    float64 `json:"degraded"`
 }
 
-// Conn wraps a TCP connection with JSON-lines framing. It is safe for one
-// concurrent reader and one concurrent writer (the protocol is full-duplex).
+// wirebufPool recycles the per-connection binary codec buffers across
+// sessions, so a server admitting thousands of short sessions per second
+// does not allocate fresh framing buffers for each.
+var wirebufPool = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+
+// Conn wraps a TCP connection with protocol framing. It is safe for one
+// concurrent reader and one concurrent writer (the protocol is full-duplex);
+// SetProto may only be called at the negotiation point, before the other
+// side of the pipe is driven concurrently.
 type Conn struct {
-	c   net.Conn
-	r   *bufio.Reader
-	enc *json.Encoder
+	c     net.Conn
+	r     *bufio.Reader
+	enc   *json.Encoder
+	proto int
+
+	rhdr [4]byte
+	rbuf []byte // binary frame read buffer, reused across Recv calls
+	wbuf []byte // binary frame write buffer, reused across Send calls
 }
 
-// NewConn frames an established connection.
+// NewConn frames an established connection; it starts in ProtoJSON.
 func NewConn(c net.Conn) *Conn {
-	return &Conn{c: c, r: bufio.NewReader(c), enc: json.NewEncoder(c)}
+	return &Conn{c: c, r: bufio.NewReader(c), enc: json.NewEncoder(c), proto: ProtoJSON}
 }
 
-// Send writes one envelope.
-func (c *Conn) Send(e *Envelope) error { return c.enc.Encode(e) }
+// Proto returns the framing currently in effect.
+func (c *Conn) Proto() int { return c.proto }
 
-// Recv reads the next envelope.
-func (c *Conn) Recv() (*Envelope, error) {
-	line, err := c.r.ReadBytes('\n')
+// SetProto switches the connection to the negotiated framing. The caller
+// must guarantee no Send or Recv is in flight — in the protocol this is the
+// instant after the Accept is sent (server) or received (client).
+func (c *Conn) SetProto(p int) {
+	if p == c.proto {
+		return
+	}
+	c.proto = p
+	if p == ProtoBinary {
+		if c.wbuf == nil {
+			c.wbuf = wirebufPool.Get().([]byte)[:0]
+		}
+		if c.rbuf == nil {
+			c.rbuf = wirebufPool.Get().([]byte)[:0]
+		}
+	}
+}
+
+// Send writes one envelope in the connection's current framing.
+func (c *Conn) Send(e *Envelope) error {
+	if c.proto != ProtoBinary {
+		return c.enc.Encode(e)
+	}
+	buf, err := e.AppendTo(c.wbuf[:0])
 	if err != nil {
-		return nil, err
+		return err
 	}
+	c.wbuf = buf[:0]
+	_, err = c.c.Write(buf)
+	return err
+}
+
+// Recv reads the next envelope into fresh storage.
+func (c *Conn) Recv() (*Envelope, error) {
 	var e Envelope
-	if err := json.Unmarshal(line, &e); err != nil {
-		return nil, fmt.Errorf("streaming: bad frame: %w", err)
-	}
-	if err := e.validate(); err != nil {
+	if err := c.RecvInto(&e); err != nil {
 		return nil, err
 	}
 	return &e, nil
 }
 
-// Close closes the underlying connection.
+// RecvInto reads the next envelope into e, reusing any payload structs (and
+// their slice backing arrays) already attached to it — the allocation-free
+// receive path for clients and load generators that process one message at a
+// time. Payloads of non-matching types are detached, and e is left untouched
+// on error.
+func (c *Conn) RecvInto(e *Envelope) error {
+	if c.proto != ProtoBinary {
+		line, err := c.r.ReadBytes('\n')
+		if err != nil {
+			return err
+		}
+		var fresh Envelope
+		if err := json.Unmarshal(line, &fresh); err != nil {
+			return fmt.Errorf("streaming: bad frame: %w", err)
+		}
+		if err := fresh.validate(); err != nil {
+			return err
+		}
+		*e = fresh
+		return nil
+	}
+	if _, err := io.ReadFull(c.r, c.rhdr[:]); err != nil {
+		return err
+	}
+	n := int(uint32(c.rhdr[0]) | uint32(c.rhdr[1])<<8 | uint32(c.rhdr[2])<<16 | uint32(c.rhdr[3])<<24)
+	if n <= 0 || n > maxWireFrame {
+		return fmt.Errorf("streaming: bad binary frame length %d", n)
+	}
+	if cap(c.rbuf) < n {
+		c.rbuf = make([]byte, n)
+	}
+	body := c.rbuf[:n]
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return err
+	}
+	return e.DecodeFrom(body)
+}
+
+// Close closes the underlying connection. It is safe to call while a reader
+// or writer is blocked (the server uses this to force teardown), so it does
+// not recycle codec buffers — Release does, from the owning goroutine.
 func (c *Conn) Close() error { return c.c.Close() }
+
+// Release returns the connection's codec buffers to the shared pool. Only
+// the goroutine that owns both directions may call it, after the last Send
+// and Recv have returned; the Conn must not be used afterwards.
+func (c *Conn) Release() {
+	if c.wbuf != nil {
+		wirebufPool.Put(c.wbuf[:0])
+		c.wbuf = nil
+	}
+	if c.rbuf != nil {
+		wirebufPool.Put(c.rbuf[:0])
+		c.rbuf = nil
+	}
+}
 
 // validate checks that the payload matches the declared type.
 func (e *Envelope) validate() error {

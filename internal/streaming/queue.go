@@ -1,0 +1,141 @@
+package streaming
+
+import "sync"
+
+// outQueue is one session's bounded outbound delivery queue: the tick
+// pipeline pushes pooled envelopes, the session's writer goroutine pops and
+// sends them. The queue never blocks the producer and never grows — when a
+// slow client falls a full queue behind, backpressure resolves against the
+// stream, not the server:
+//
+//  1. coalesce: if the newest queued message is a frame batch, the incoming
+//     batch replaces it (the old snapshot is stale the moment a fresh one
+//     exists); the replaced envelope is recycled and counted;
+//  2. drop-oldest: otherwise the oldest frame batch in the queue is evicted
+//     to make room; the evicted envelope is recycled and counted.
+//
+// End messages are never coalesced or dropped. Clients observe the policy
+// as gaps in FrameBatch.Seq.
+type outQueue struct {
+	mu     sync.Mutex
+	nempty sync.Cond // signaled when a message or closure arrives
+
+	buf  []*Envelope // ring buffer
+	head int         // index of the oldest element
+	n    int         // elements in the ring
+
+	closed bool
+}
+
+func newOutQueue(capacity int) *outQueue {
+	q := &outQueue{buf: make([]*Envelope, capacity)}
+	q.nempty.L = &q.mu
+	return q
+}
+
+// at returns the ring slot index for logical position i (0 = oldest).
+func (q *outQueue) at(i int) int { return (q.head + i) % len(q.buf) }
+
+// push enqueues e under the backpressure policy above. It returns any
+// envelope displaced by coalescing or eviction (for the caller to recycle)
+// and how the push resolved: pushOK, pushCoalesced, or pushDropped. A push
+// to a closed queue returns e itself with pushClosed.
+func (q *outQueue) push(e *Envelope) (displaced *Envelope, how pushResult) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return e, pushClosed
+	}
+	if q.n < len(q.buf) {
+		q.buf[q.at(q.n)] = e
+		q.n++
+		q.mu.Unlock()
+		q.nempty.Signal()
+		return nil, pushOK
+	}
+	// Full. Coalesce into the newest slot when it holds a frame batch and
+	// the incoming message is one too.
+	newest := q.at(q.n - 1)
+	if e.Type == MsgFrames && q.buf[newest].Type == MsgFrames {
+		displaced = q.buf[newest]
+		q.buf[newest] = e
+		q.mu.Unlock()
+		q.nempty.Signal()
+		return displaced, pushCoalesced
+	}
+	// Evict the oldest frame batch. The queue holds at most one non-frames
+	// message (the final End, which is also always the newest), so the scan
+	// almost always stops at the head.
+	for i := 0; i < q.n; i++ {
+		slot := q.at(i)
+		if q.buf[slot].Type != MsgFrames {
+			continue
+		}
+		displaced = q.buf[slot]
+		// Shift the survivors down to keep FIFO order.
+		for j := i; j+1 < q.n; j++ {
+			q.buf[q.at(j)] = q.buf[q.at(j+1)]
+		}
+		q.buf[q.at(q.n-1)] = e
+		q.mu.Unlock()
+		q.nempty.Signal()
+		return displaced, pushDropped
+	}
+	// Nothing evictable (cannot happen with at most one End per session
+	// and capacity > 1, but fail safe): reject the incoming message.
+	q.mu.Unlock()
+	return e, pushDropped
+}
+
+// pop blocks until a message is available or the queue is closed and
+// drained; ok is false only in the latter case.
+func (q *outQueue) pop() (e *Envelope, ok bool) {
+	q.mu.Lock()
+	for q.n == 0 && !q.closed {
+		q.nempty.Wait()
+	}
+	if q.n == 0 {
+		q.mu.Unlock()
+		return nil, false
+	}
+	e = q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.mu.Unlock()
+	return e, true
+}
+
+// tryPop is pop without blocking; ok is false when the queue is empty.
+func (q *outQueue) tryPop() (e *Envelope, ok bool) {
+	q.mu.Lock()
+	if q.n == 0 {
+		q.mu.Unlock()
+		return nil, false
+	}
+	e = q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.mu.Unlock()
+	return e, true
+}
+
+// close marks the queue closed and wakes the consumer. Queued messages stay
+// poppable so an End already enqueued is still delivered.
+func (q *outQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.nempty.Broadcast()
+}
+
+// pushResult describes how a push resolved.
+type pushResult uint8
+
+const (
+	pushOK pushResult = iota
+	pushCoalesced
+	pushDropped
+	pushClosed
+)

@@ -1,0 +1,113 @@
+package streaming
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shardBits sets the registry fan-out: 1<<shardBits power-of-two shards,
+// selected by the low bits of the session ID. Sixteen shards keep the
+// per-shard critical sections short enough that accept, input, teardown,
+// metrics, and the tick walk stop serializing on one lock, without making
+// the per-tick shard sweep itself expensive.
+const shardBits = 4
+
+// numShards is the registry fan-out (power of two, so id&(numShards-1)
+// selects a shard without division).
+const numShards = 1 << shardBits
+
+// registry holds the live sessions, sharded by session ID. Each shard keeps
+// a dense slice (the tick walk iterates it without touching map internals)
+// plus an id index for O(1) removal; removal swap-deletes, so slots stay
+// dense and the walk never skips or double-visits a session.
+type registry struct {
+	shards [numShards]regShard
+	// count mirrors the total membership so Sessions() and admission
+	// checks never take a lock.
+	count atomic.Int64
+	// contention counts shard-lock acquisitions that found the lock held —
+	// the cheap TryLock-based proxy surfaced on /metrics.
+	contention atomic.Uint64
+}
+
+type regShard struct {
+	mu   sync.Mutex
+	byID map[int64]int // session ID -> index in list
+	list []*liveSession
+}
+
+func (r *registry) shardFor(id int64) *regShard {
+	return &r.shards[id&(numShards-1)]
+}
+
+// lock acquires the shard lock, counting contended acquisitions.
+func (r *registry) lock(sh *regShard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	r.contention.Add(1)
+	sh.mu.Lock()
+}
+
+// add registers a session.
+func (r *registry) add(ls *liveSession) {
+	sh := r.shardFor(ls.id)
+	r.lock(sh)
+	if sh.byID == nil {
+		sh.byID = make(map[int64]int)
+	}
+	sh.byID[ls.id] = len(sh.list)
+	sh.list = append(sh.list, ls)
+	sh.mu.Unlock()
+	r.count.Add(1)
+}
+
+// remove deregisters a session; it is a no-op for unknown IDs.
+func (r *registry) remove(id int64) {
+	sh := r.shardFor(id)
+	r.lock(sh)
+	i, ok := sh.byID[id]
+	if !ok {
+		sh.mu.Unlock()
+		return
+	}
+	last := len(sh.list) - 1
+	moved := sh.list[last]
+	sh.list[i] = moved
+	sh.list[last] = nil
+	sh.list = sh.list[:last]
+	sh.byID[moved.id] = i
+	delete(sh.byID, id)
+	sh.mu.Unlock()
+	r.count.Add(-1)
+}
+
+// len returns the current membership without locking.
+func (r *registry) len() int { return int(r.count.Load()) }
+
+// snapshotInto appends every live session to dst, shard by shard, and
+// returns the extended slice. The tick pipeline calls it once per tick with
+// a reused buffer, so a steady-state snapshot allocates nothing. Sessions
+// added concurrently may or may not appear — they catch the next tick.
+func (r *registry) snapshotInto(dst []*liveSession) []*liveSession {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		r.lock(sh)
+		dst = append(dst, sh.list...)
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
+// each calls fn for every live session, holding the shard lock only around
+// the per-shard iteration. Close uses it to force-disconnect everything.
+func (r *registry) each(fn func(*liveSession)) {
+	for i := range r.shards {
+		sh := &r.shards[i]
+		r.lock(sh)
+		for _, ls := range sh.list {
+			fn(ls)
+		}
+		sh.mu.Unlock()
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cocg/internal/core"
 	"cocg/internal/gamesim"
+	"cocg/internal/parallel"
 	"cocg/internal/platform"
 	"cocg/internal/simclock"
 )
@@ -28,38 +30,102 @@ type ServerConfig struct {
 	Encoder Encoder
 	// SessionSeed seeds arriving sessions.
 	SessionSeed int64
+	// Jobs bounds the goroutines the per-tick delivery walk fans out over;
+	// <=1 walks serially. Simulation outcomes are identical at every value:
+	// the cluster itself always ticks serially, and the walk only reads
+	// per-session state and writes to per-session queues.
+	Jobs int
+	// MaxProto caps the wire protocol the server will negotiate
+	// (ProtoJSON pins every session to JSON); 0 means the newest version.
+	MaxProto int
+	// QueueLen is the per-session outbound queue capacity; <=0 means 64.
+	// When a client falls this far behind, frame batches are coalesced and
+	// then dropped oldest-first (see outQueue) rather than buffered without
+	// bound.
+	QueueLen int
 }
 
 // Server is the cloud end of Fig. 1: it hosts game sessions on a scheduled
 // cluster and streams encoded frames to connected clients.
+//
+// Concurrency model: the cluster (and placement state) is guarded by
+// clusterMu — the simulation always advances serially, so outcomes cannot
+// depend on delivery parallelism. Live sessions live in a sharded registry
+// (16 shards keyed by session ID) so the accept, input, teardown, and
+// metrics paths never serialize on one lock. The per-tick delivery walk
+// fans out over cfg.Jobs goroutines in fixed chunks, builds frame batches
+// in pooled envelopes, and pushes them to per-session bounded queues; one
+// writer goroutine per session drains its queue to the wire.
 type Server struct {
 	cfg     ServerConfig
 	cluster *platform.Cluster
 	ln      net.Listener
 
-	mu       sync.Mutex
-	sessions map[int64]*liveSession
-	nextID   int64
-	nextSeed int64
-	closed   bool
+	// clusterMu guards the cluster, placement state, and the tick walk.
+	clusterMu sync.Mutex
+	nextID    int64
+	nextSeed  int64
+	closed    bool
+
+	reg registry
 
 	done chan struct{}
 	wg   sync.WaitGroup
+
+	// Delivery counters (see MetricsHandler).
+	framesSent      atomic.Uint64
+	framesCoalesced atomic.Uint64
+	framesDropped   atomic.Uint64
+	protoSessions   [maxKnownProto + 1]atomic.Uint64
+
+	// Tick-walk reusables: the snapshot buffer and the hoisted chunk body
+	// (built once — constructing a closure per tick would allocate).
+	tickSnap     []*liveSession
+	tickBoundary bool
+	tickBody     func(chunk, lo, hi int)
 }
 
-// liveSession ties a hosted game to its client connection.
+// liveSession ties a hosted game to its client connection. Fields written
+// by the tick walk (seq, ended) are touched only there — chunks are
+// disjoint within a tick and ticks are serialized — so they need no lock;
+// the input mirror has its own mutex because the read loop races the walk.
 type liveSession struct {
 	id     int64
 	conn   *Conn
 	hosted *platform.Hosted
+	proto  int
 	seq    int64
+	ended  bool
 
 	inMu     sync.Mutex
 	inSeq    int64
 	inSentAt int64
 
-	out  chan Envelope // frame batches and the final end message
-	ends sync.Once
+	out *outQueue
+}
+
+// tickChunk is the delivery-walk granularity: sessions are visited in fixed
+// 32-wide chunks so the fan-out keeps workers busy at hundreds of sessions
+// while chunk boundaries stay independent of the worker count.
+const tickChunk = 32
+
+// framesEnvPool recycles frame-batch envelopes (and their FrameBatch and
+// per-frame slice backing arrays) between the tick walk and the session
+// writers, so steady-state delivery allocates nothing per batch.
+var framesEnvPool = sync.Pool{
+	New: func() any { return &Envelope{Type: MsgFrames, Frames: &FrameBatch{}} },
+}
+
+func getFramesEnv() *Envelope { return framesEnvPool.Get().(*Envelope) }
+
+// putFramesEnv recycles a frame-batch envelope; other message types (the
+// one End per session) and nil are ignored.
+func putFramesEnv(e *Envelope) {
+	if e == nil || e.Type != MsgFrames || e.Frames == nil {
+		return
+	}
+	e.Frames.Frames = e.Frames.Frames[:0]
+	framesEnvPool.Put(e)
 }
 
 // Serve starts a streaming server listening on addr (e.g. "127.0.0.1:0").
@@ -76,6 +142,15 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.Encoder == (Encoder{}) {
 		cfg.Encoder = DefaultEncoder()
 	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 1
+	}
+	if cfg.MaxProto <= 0 {
+		cfg.MaxProto = maxKnownProto
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 64
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -84,9 +159,13 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 		cfg:      cfg,
 		cluster:  cfg.System.NewCluster(cfg.Servers, cfg.Policy),
 		ln:       ln,
-		sessions: map[int64]*liveSession{},
 		nextSeed: cfg.SessionSeed,
 		done:     make(chan struct{}),
+	}
+	s.tickBody = func(chunk, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.emitSession(s.tickSnap[i])
+		}
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -97,22 +176,27 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and disconnects all clients.
+// Close stops the server and disconnects all clients. Every goroutine the
+// server started — accept loop, tick loop, per-session readers and writers
+// — has exited when Close returns.
 func (s *Server) Close() error {
-	s.mu.Lock()
+	s.clusterMu.Lock()
 	if s.closed {
-		s.mu.Unlock()
+		s.clusterMu.Unlock()
 		return nil
 	}
 	s.closed = true
-	s.mu.Unlock()
+	s.clusterMu.Unlock()
 	close(s.done)
 	err := s.ln.Close()
-	s.mu.Lock()
-	for _, ls := range s.sessions {
-		_ = ls.conn.Close() // best-effort disconnect during teardown
-	}
-	s.mu.Unlock()
+	// Force every live session down: closing the queue unblocks its writer,
+	// closing the connection unblocks its reader (and any in-flight Send).
+	s.reg.each(func(ls *liveSession) {
+		ls.out.close()
+		if ls.conn != nil { // benchmarks register wire-less sessions
+			_ = ls.conn.Close() // best-effort disconnect during teardown
+		}
+	})
 	s.wg.Wait()
 	return err
 }
@@ -133,48 +217,63 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// handle runs one client connection: admission, then the input-reading loop
-// (frame delivery happens from the session's out channel).
+// handle runs one client connection: admission and protocol negotiation,
+// then the input-reading loop, with a paired writer goroutine draining the
+// session's outbound queue.
 func (s *Server) handle(conn *Conn) {
-	defer func() { _ = conn.Close() }()
 	env, err := conn.Recv()
 	if err != nil || env.Type != MsgHello {
+		_ = conn.Close()
 		return
 	}
 	hello := env.Hello
 	spec, err := gamesim.GameByName(hello.Game)
 	if err != nil {
 		_ = conn.Send(&Envelope{Type: MsgReject, Reject: &Reject{Reason: err.Error()}})
+		_ = conn.Close()
 		return
 	}
 	if hello.Script < 0 || hello.Script >= len(spec.Scripts) {
 		_ = conn.Send(&Envelope{Type: MsgReject, Reject: &Reject{Reason: "no such script"}})
+		_ = conn.Close()
 		return
 	}
 	ls, reason := s.place(conn, spec, hello)
 	if ls == nil {
 		_ = conn.Send(&Envelope{Type: MsgReject, Reject: &Reject{Reason: reason}})
+		_ = conn.Close()
 		return
 	}
-	// Writer: deliver frame batches until the session ends.
+	// The Accept went out (in JSON) inside place; switch both directions to
+	// the negotiated framing before any concurrent use of the connection.
+	conn.SetProto(ls.proto)
+	s.protoSessions[ls.proto].Add(1)
+
 	writerDone := make(chan struct{})
+	s.wg.Add(1)
 	go func() {
+		defer s.wg.Done()
 		defer close(writerDone)
-		for e := range ls.out {
-			e := e
-			if conn.Send(&e) != nil {
-				return
-			}
-			if e.Type == MsgEnd {
-				return
-			}
-		}
+		s.writeLoop(ls)
 	}()
-	// Reader: consume input batches for RTT echoing.
+	s.readLoop(ls)
+	// Reader gone: the client disconnected (normally, after End) or the
+	// server is tearing down. Unblock and wait out the writer, then retire
+	// the session.
+	ls.out.close()
+	_ = conn.Close()
+	<-writerDone
+	s.reg.remove(ls.id)
+	conn.Release()
+}
+
+// readLoop consumes input batches for RTT echoing, decoding into one reused
+// envelope so a chatty client costs no allocations.
+func (s *Server) readLoop(ls *liveSession) {
+	var env Envelope
 	for {
-		env, err := conn.Recv()
-		if err != nil {
-			break
+		if err := ls.conn.RecvInto(&env); err != nil {
+			return
 		}
 		if env.Type == MsgInput {
 			ls.inMu.Lock()
@@ -183,16 +282,31 @@ func (s *Server) handle(conn *Conn) {
 			ls.inMu.Unlock()
 		}
 	}
-	<-writerDone
-	s.mu.Lock()
-	delete(s.sessions, ls.id)
-	s.mu.Unlock()
+}
+
+// writeLoop drains the session's outbound queue to the wire, recycling
+// pooled envelopes after each send. It exits after delivering the End
+// message, on a send error, or when the queue is closed and drained.
+func (s *Server) writeLoop(ls *liveSession) {
+	for {
+		e, ok := ls.out.pop()
+		if !ok {
+			return
+		}
+		err := ls.conn.Send(e)
+		isEnd := e.Type == MsgEnd
+		putFramesEnv(e)
+		if err != nil || isEnd {
+			return
+		}
+		s.framesSent.Add(1)
+	}
 }
 
 // place runs the distributor for an arriving client and hosts the session.
 func (s *Server) place(conn *Conn, spec *gamesim.GameSpec, hello *Hello) (*liveSession, string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
 	if s.closed {
 		return nil, "server shutting down"
 	}
@@ -225,13 +339,14 @@ func (s *Server) place(conn *Conn, spec *gamesim.GameSpec, hello *Hello) (*liveS
 			id:     s.nextID,
 			conn:   conn,
 			hosted: hosted,
-			out:    make(chan Envelope, 64),
+			proto:  NegotiateProto(hello.Proto, s.cfg.MaxProto),
+			out:    newOutQueue(s.cfg.QueueLen),
 		}
-		s.sessions[ls.id] = ls
+		s.reg.add(ls)
 		// Best-effort: if the accept never lands, the input loop's Recv
 		// fails and tears the session down.
 		_ = conn.Send(&Envelope{Type: MsgAccept, Accept: &Accept{
-			SessionID: ls.id, Server: srv.ID, Game: spec.Name,
+			SessionID: ls.id, Server: srv.ID, Game: spec.Name, Proto: ls.proto,
 		}})
 		return ls, ""
 	}
@@ -254,57 +369,85 @@ func (s *Server) tickLoop() {
 	}
 }
 
+// tickOnce advances the simulation serially, then fans the delivery walk
+// out over cfg.Jobs goroutines: snapshot the registry (reused buffer), walk
+// it in fixed chunks, emit one pooled frame batch per live session on frame
+// boundaries and an End for every finished session.
 func (s *Server) tickOnce() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.cluster.Tick()
-	for _, ls := range s.sessions {
-		sess := ls.hosted.Session
-		if sess.Done() {
-			ls.ends.Do(func() {
-				ls.out <- Envelope{Type: MsgEnd, End: &SessionStat{
-					SessionID:   ls.id,
-					DurationSec: int64(sess.Elapsed()),
-					AvgFPS:      sess.AvgFPS(),
-					FPSRatio:    sess.FPSRatio(),
-					Degraded:    sess.DegradedFraction(),
-				}}
-				close(ls.out)
-			})
-			continue
-		}
-		if !simclock.IsFrameBoundary(s.cluster.Clock.Now()) {
-			continue // stream one batch per detection frame
-		}
-		ls.seq++
-		loading := sess.Phase() == gamesim.PhaseLoading
-		fps := sess.LastFPS()
-		ls.inMu.Lock()
-		echoSeq, echoAt := ls.inSeq, ls.inSentAt
-		ls.inMu.Unlock()
-		batch := Envelope{Type: MsgFrames, Frames: &FrameBatch{
-			SessionID:    ls.id,
-			Seq:          ls.seq,
-			FPS:          fps,
-			BitrateKbps:  s.cfg.Encoder.Encode(fps, ls.hosted.Granted, loading),
-			Stage:        sess.StageType(),
-			Loading:      loading,
-			EchoSeq:      echoSeq,
-			EchoSentAtMS: echoAt,
-		}}
-		select {
-		case ls.out <- batch:
-		default: // client too slow: drop the batch, like a real stream
-		}
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	if s.closed {
+		return
 	}
+	s.cluster.Tick()
+	s.tickBoundary = simclock.IsFrameBoundary(s.cluster.Clock.Now())
+	s.tickSnap = s.reg.snapshotInto(s.tickSnap[:0])
+	if s.cfg.Jobs <= 1 {
+		// Serial fast path: one flat walk, no fan-out closure, zero
+		// steady-state allocations per tick.
+		s.tickBody(0, 0, len(s.tickSnap))
+		return
+	}
+	parallel.ForChunksOf(s.cfg.Jobs, len(s.tickSnap), tickChunk, s.tickBody)
+}
+
+// emitSession delivers one tick's worth of messages to one session: the End
+// with final statistics when the game finished, else (on frame boundaries)
+// one pooled frame batch, pushed under the queue's backpressure policy.
+func (s *Server) emitSession(ls *liveSession) {
+	if ls.ended {
+		return
+	}
+	sess := ls.hosted.Session
+	if sess.Done() {
+		ls.ended = true
+		displaced, _ := ls.out.push(&Envelope{Type: MsgEnd, End: &SessionStat{
+			SessionID:   ls.id,
+			DurationSec: int64(sess.Elapsed()),
+			AvgFPS:      sess.AvgFPS(),
+			FPSRatio:    sess.FPSRatio(),
+			Degraded:    sess.DegradedFraction(),
+		}})
+		// An End entering a full queue evicts the oldest frame batch; that
+		// is a drop the counters must see too.
+		if displaced != nil && displaced.Type == MsgFrames {
+			s.framesDropped.Add(1)
+		}
+		putFramesEnv(displaced)
+		return
+	}
+	if !s.tickBoundary {
+		return // stream one batch per detection frame
+	}
+	ls.seq++
+	loading := sess.Phase() == gamesim.PhaseLoading
+	fps := sess.LastFPS()
+	ls.inMu.Lock()
+	echoSeq, echoAt := ls.inSeq, ls.inSentAt
+	ls.inMu.Unlock()
+	e := getFramesEnv()
+	f := e.Frames
+	f.SessionID = ls.id
+	f.Seq = ls.seq
+	f.FPS = fps
+	f.BitrateKbps = s.cfg.Encoder.Encode(fps, ls.hosted.Granted, loading)
+	f.Stage = sess.StageType()
+	f.Loading = loading
+	f.EchoSeq = echoSeq
+	f.EchoSentAtMS = echoAt
+	f.Frames = s.cfg.Encoder.AppendFrames(f.Frames[:0], fps, f.BitrateKbps)
+	displaced, how := ls.out.push(e)
+	switch how {
+	case pushCoalesced:
+		s.framesCoalesced.Add(1)
+	case pushDropped:
+		s.framesDropped.Add(1)
+	}
+	putFramesEnv(displaced)
 }
 
 // Sessions returns the number of currently connected sessions.
-func (s *Server) Sessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
-}
+func (s *Server) Sessions() int { return s.reg.len() }
 
 // String describes the server.
 func (s *Server) String() string {

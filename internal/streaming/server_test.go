@@ -1,0 +1,342 @@
+package streaming
+
+import (
+	"fmt"
+	"net"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cocg/internal/core"
+	"cocg/internal/gamesim"
+)
+
+// TestSessionSpeaksBinaryByDefault pins the happy-path negotiation: a
+// current client against a current server streams the whole session over
+// the binary codec and still measures a healthy experience.
+func TestSessionSpeaksBinaryByDefault(t *testing.T) {
+	s := startServer(t)
+	stats, err := Play(s.Addr(), ClientConfig{Game: "Contra", Script: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Proto != ProtoBinary {
+		t.Fatalf("negotiated proto %d, want binary", stats.Proto)
+	}
+	if stats.Frames == 0 || stats.Final.DurationSec == 0 {
+		t.Fatalf("binary session streamed nothing: %+v", stats)
+	}
+	if got := s.snapshot(); got.SessionsBinary != 1 || got.SessionsJSON != 0 {
+		t.Errorf("proto counters: %+v", got)
+	}
+}
+
+// TestLegacyJSONClientAgainstNewServer is the cross-version test via the
+// public client: a client capped at ProtoJSON (the old wire protocol)
+// completes a full session against a binary-capable server.
+func TestLegacyJSONClientAgainstNewServer(t *testing.T) {
+	s := startServer(t)
+	stats, err := Play(s.Addr(), ClientConfig{Game: "Contra", Script: 0, MaxProto: ProtoJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Proto != ProtoJSON {
+		t.Fatalf("negotiated proto %d, want JSON", stats.Proto)
+	}
+	if stats.Frames == 0 || stats.Final.FPSRatio < 0.8 {
+		t.Fatalf("JSON session degraded: %+v", stats)
+	}
+	if got := s.snapshot(); got.SessionsJSON != 1 {
+		t.Errorf("proto counters: %+v", got)
+	}
+}
+
+// TestServerPinnedToJSON covers the other negotiation direction: a server
+// capped at ProtoJSON forces a binary-capable client down to JSON.
+func TestServerPinnedToJSON(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", ServerConfig{
+		System:    testSystem(t),
+		Policy:    core.PolicyCoCG,
+		TickEvery: time.Millisecond,
+		MaxProto:  ProtoJSON,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	stats, err := Play(s.Addr(), ClientConfig{Game: "Contra", Script: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Proto != ProtoJSON {
+		t.Fatalf("negotiated proto %d, want JSON", stats.Proto)
+	}
+}
+
+// TestCloseWithLiveSessionsLeaksNothing is the shutdown audit: closing a
+// server mid-session must tear down every accept, reader, writer, and tick
+// goroutine and return — the pre-PR5 server deadlocked here, because a
+// session writer blocked forever on its delivery channel.
+func TestCloseWithLiveSessionsLeaksNothing(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, err := Serve("127.0.0.1:0", ServerConfig{
+		System:  testSystem(t),
+		Policy:  core.PolicyCoCG,
+		Servers: 4,
+		// The simulation never ticks: every session is provably still live —
+		// mid-stream, unfinished — when Close runs.
+		TickEvery: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Errors are expected: the server goes away mid-session.
+			_, _ = Play(s.Addr(), ClientConfig{Game: "Genshin Impact", Script: i % 3, Timeout: time.Minute})
+		}(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Sessions() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Sessions() < n {
+		t.Fatalf("only %d of %d sessions appeared", s.Sessions(), n)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close() hung with live sessions — goroutine leak")
+	}
+	wg.Wait()
+
+	// Every server goroutine must be gone; allow slack for runtime/test
+	// helpers that come and go.
+	for end := time.Now().Add(5 * time.Second); time.Now().Before(end); {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+}
+
+// sessionOutcomesAtJobs runs a fixed scripted client set against a server
+// whose tick loop is driven manually (TickEvery is effectively infinite),
+// and returns each client's final session statistics in connect order.
+func sessionOutcomesAtJobs(t *testing.T, jobs int) []SessionStat {
+	t.Helper()
+	s, err := Serve("127.0.0.1:0", ServerConfig{
+		System:      testSystem(t),
+		Policy:      core.PolicyCoCG,
+		Servers:     6,         // room for the whole script to be co-hosted at once
+		TickEvery:   time.Hour, // the test owns the tick cadence
+		SessionSeed: 7,
+		Jobs:        jobs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	script := []struct {
+		game   string
+		script int
+	}{
+		{"Contra", 0},
+		{"Genshin Impact", 0},
+		{"Contra", 1},
+		{"Genshin Impact", 2},
+		{"Contra", 2},
+	}
+	finals := make([]SessionStat, len(script))
+	errs := make([]error, len(script))
+	var wg sync.WaitGroup
+	for i, sc := range script {
+		wg.Add(1)
+		go func(i int, game string, idx int) {
+			defer wg.Done()
+			stats, err := Play(s.Addr(), ClientConfig{Game: game, Script: idx, Timeout: 2 * time.Minute})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			finals[i] = stats.Final
+		}(i, sc.game, sc.script)
+		// Sequential admission makes placement order — and therefore the
+		// whole simulation — a pure function of the script and seed.
+		deadline := time.Now().Add(10 * time.Second)
+		for s.Sessions() < i+1 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if s.Sessions() < i+1 {
+			t.Fatalf("session %d never admitted", i)
+		}
+	}
+
+	// Drive the simulation to completion by hand.
+	clientsDone := make(chan struct{})
+	go func() { wg.Wait(); close(clientsDone) }()
+	for tick := 0; ; tick++ {
+		select {
+		case <-clientsDone:
+		default:
+			s.tickOnce()
+			if tick%256 == 255 {
+				time.Sleep(time.Millisecond) // let deliveries flush
+			}
+			if tick > 500_000 {
+				t.Fatal("sessions never completed")
+			}
+			continue
+		}
+		break
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	return finals
+}
+
+// TestSessionOutcomesInvariantAcrossJobs is the acceptance gate for the
+// parallel tick pipeline: for a fixed seed and scripted client set, every
+// session's final statistics are identical whether the delivery walk runs
+// serially or fanned out over 8 goroutines.
+func TestSessionOutcomesInvariantAcrossJobs(t *testing.T) {
+	serial := sessionOutcomesAtJobs(t, 1)
+	parallel8 := sessionOutcomesAtJobs(t, 8)
+	if !reflect.DeepEqual(serial, parallel8) {
+		t.Fatalf("session outcomes depend on Jobs:\n jobs=1: %+v\n jobs=8: %+v", serial, parallel8)
+	}
+	for i, st := range serial {
+		if st.DurationSec == 0 {
+			t.Errorf("session %d reported no play time: %+v", i, st)
+		}
+	}
+}
+
+// TestBackpressureCountsAndSeqGaps pins the overload story end to end. A
+// real TCP socket would hide it — the kernel buffers the whole (small)
+// simulated stream — so the session rides an unbuffered net.Pipe: the writer
+// blocks the moment the peer stops reading, the tiny outbound queue fills,
+// and the tick walk must resolve the overload through the coalesce/drop
+// policy (visible in the counters) while the client sees sequence gaps and a
+// clean End, never unbounded buffering.
+func TestBackpressureCountsAndSeqGaps(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", ServerConfig{
+		System:    testSystem(t),
+		Policy:    core.PolicyCoCG,
+		TickEvery: time.Hour, // the test owns the tick cadence
+		QueueLen:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	conn, peer := NewConn(a), NewConn(b)
+	spec, err := gamesim.GameByName("Genshin Impact") // ~200 frame boundaries
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Admit the session by hand (place sends the Accept synchronously, so the
+	// peer must already be reading) and wire up its writer like handle does.
+	acceptRead := make(chan error, 1)
+	go func() {
+		env, err := peer.Recv()
+		if err == nil && env.Type != MsgAccept {
+			err = fmt.Errorf("expected accept, got %q", env.Type)
+		}
+		acceptRead <- err
+	}()
+	ls, reason := s.place(conn, spec, &Hello{Game: spec.Name, Proto: ProtoBinary})
+	if ls == nil {
+		t.Fatalf("place rejected: %s", reason)
+	}
+	if err := <-acceptRead; err != nil {
+		t.Fatal(err)
+	}
+	conn.SetProto(ls.proto)
+	peer.SetProto(ls.proto)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.writeLoop(ls)
+	}()
+
+	// The peer drains lazily while the server produces frame batches about
+	// twenty times faster than the client consumes them.
+	var gaps, frames int
+	var lastSeq int64
+	sawEnd := make(chan struct{})
+	go func() {
+		defer close(sawEnd)
+		var env Envelope
+		for {
+			if err := peer.RecvInto(&env); err != nil {
+				return
+			}
+			if env.Type == MsgEnd {
+				return
+			}
+			if env.Type == MsgFrames {
+				frames++
+				if lastSeq != 0 && env.Frames.Seq != lastSeq+1 {
+					gaps++
+				}
+				lastSeq = env.Frames.Seq
+				time.Sleep(10 * time.Millisecond)
+			}
+		}
+	}()
+	for i := 0; i < 500_000 && !ls.hosted.Session.Done(); i++ {
+		s.tickOnce()
+		if i%5 == 4 {
+			// One frame boundary per 5 ticks: pace production to roughly a
+			// batch per millisecond — still an order of magnitude faster
+			// than the peer consumes — so the writer goroutine interleaves
+			// with the walk instead of the whole session elapsing between
+			// two peer reads.
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !ls.hosted.Session.Done() {
+		t.Fatal("session never finished")
+	}
+	s.tickOnce() // deliver the End
+	select {
+	case <-sawEnd:
+	case <-time.After(10 * time.Second):
+		t.Fatal("client never received End")
+	}
+	<-writerDone
+
+	snap := s.snapshot()
+	if snap.FramesCoalesced+snap.FramesDropped == 0 {
+		t.Error("overloaded session triggered no backpressure")
+	}
+	if gaps == 0 {
+		t.Errorf("client saw no sequence gaps despite backpressure (%d frames)", frames)
+	}
+	if frames == 0 {
+		t.Error("client received no frames at all")
+	}
+}

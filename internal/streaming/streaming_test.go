@@ -18,7 +18,7 @@ var (
 	sysErr  error
 )
 
-func testSystem(t *testing.T) *core.System {
+func testSystem(t testing.TB) *core.System {
 	t.Helper()
 	sysOnce.Do(func() {
 		sysVal, sysErr = core.Train(

@@ -1,0 +1,395 @@
+package streaming
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire protocol versions. Every connection opens speaking ProtoJSON — the
+// newline-delimited JSON framing the package shipped with — so any client
+// ever written can at least complete the Hello/Accept handshake. The Hello
+// carries the highest version the client speaks and the Accept answers with
+// the version the server chose; both sides switch codecs only after that
+// exchange, so old JSON clients interoperate with new servers (and new
+// clients with old servers, whose Accept simply omits the field).
+const (
+	// ProtoJSON is the newline-delimited JSON framing (version 1).
+	ProtoJSON = 1
+	// ProtoBinary is the length-prefixed binary framing (version 2).
+	ProtoBinary = 2
+
+	// maxKnownProto is the newest version this build speaks.
+	maxKnownProto = ProtoBinary
+)
+
+// NegotiateProto resolves the version both ends of a handshake speak:
+// the minimum of the two advertised maxima, where anything <= 0 (an old
+// peer that never sent the field) means ProtoJSON.
+func NegotiateProto(clientMax, serverMax int) int {
+	if clientMax <= 0 {
+		clientMax = ProtoJSON
+	}
+	if serverMax <= 0 {
+		serverMax = ProtoJSON
+	}
+	p := clientMax
+	if serverMax < p {
+		p = serverMax
+	}
+	if p > maxKnownProto {
+		p = maxKnownProto
+	}
+	return p
+}
+
+// Binary framing: every message is
+//
+//	[4-byte little-endian length n][1-byte message tag][payload]
+//
+// where n counts the tag and payload. Integers are varints (zigzag for
+// signed), floats are 8-byte IEEE 754 little-endian, strings and byte
+// slices are length-prefixed. The layout per tag is fixed — the protocol
+// version negotiated in Hello/Accept is the schema version.
+
+// maxWireFrame bounds a binary frame so a corrupt or hostile length prefix
+// cannot make the reader allocate unbounded memory.
+const maxWireFrame = 1 << 20
+
+// Binary message tags, one per MsgType.
+const (
+	tagHello byte = iota + 1
+	tagAccept
+	tagReject
+	tagInput
+	tagFrames
+	tagEnd
+)
+
+var errWireTruncated = errors.New("streaming: truncated binary frame")
+
+// AppendTo appends the envelope as one complete binary frame (length prefix
+// included) to buf and returns the extended slice. It never allocates when
+// buf has sufficient capacity, so hot paths can reuse one buffer per
+// connection across every send.
+func (e *Envelope) AppendTo(buf []byte) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length prefix, patched below
+	var err error
+	switch e.Type {
+	case MsgHello:
+		buf = append(buf, tagHello)
+		buf = appendString(buf, e.Hello.Game)
+		buf = appendSvarint(buf, int64(e.Hello.Script))
+		buf = appendSvarint(buf, e.Hello.Habit)
+		buf = appendSvarint(buf, int64(e.Hello.Proto))
+	case MsgAccept:
+		buf = append(buf, tagAccept)
+		buf = appendSvarint(buf, e.Accept.SessionID)
+		buf = appendSvarint(buf, int64(e.Accept.Server))
+		buf = appendString(buf, e.Accept.Game)
+		buf = appendSvarint(buf, int64(e.Accept.Proto))
+	case MsgReject:
+		buf = append(buf, tagReject)
+		buf = appendString(buf, e.Reject.Reason)
+	case MsgInput:
+		in := e.Input
+		buf = append(buf, tagInput)
+		buf = appendSvarint(buf, in.SessionID)
+		buf = appendSvarint(buf, in.Seq)
+		buf = appendSvarint(buf, int64(in.Events))
+		buf = appendSvarint(buf, in.SentAtMS)
+		buf = binary.AppendUvarint(buf, uint64(len(in.Codes)))
+		buf = append(buf, in.Codes...)
+	case MsgFrames:
+		f := e.Frames
+		buf = append(buf, tagFrames)
+		buf = appendSvarint(buf, f.SessionID)
+		buf = appendSvarint(buf, f.Seq)
+		buf = appendFloat(buf, f.FPS)
+		buf = appendFloat(buf, f.BitrateKbps)
+		buf = appendSvarint(buf, int64(f.Stage))
+		buf = appendBool(buf, f.Loading)
+		buf = appendSvarint(buf, f.EchoSeq)
+		buf = appendSvarint(buf, f.EchoSentAtMS)
+		buf = binary.AppendUvarint(buf, uint64(len(f.Frames)))
+		for _, fr := range f.Frames {
+			// One varint per frame: size with the keyframe flag in bit 0.
+			v := uint64(fr.SizeBytes) << 1
+			if fr.Key {
+				v |= 1
+			}
+			buf = binary.AppendUvarint(buf, v)
+		}
+	case MsgEnd:
+		st := e.End
+		buf = append(buf, tagEnd)
+		buf = appendSvarint(buf, st.SessionID)
+		buf = appendSvarint(buf, st.DurationSec)
+		buf = appendFloat(buf, st.AvgFPS)
+		buf = appendFloat(buf, st.FPSRatio)
+		buf = appendFloat(buf, st.Degraded)
+	default:
+		err = fmt.Errorf("streaming: cannot encode message type %q", e.Type)
+	}
+	if err != nil {
+		return buf[:start], err
+	}
+	n := len(buf) - start - 4
+	if n > maxWireFrame {
+		return buf[:start], fmt.Errorf("streaming: frame of %d bytes exceeds wire limit", n)
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(n))
+	return buf, nil
+}
+
+// DecodeFrom decodes one binary frame body (tag + payload, without the
+// length prefix) into e. Payload structs already attached to e are reused —
+// including the FrameBatch.Frames and InputBatch.Codes backing arrays — so a
+// pooled envelope decodes with zero allocations in steady state; payload
+// pointers of other message types are cleared. Corrupt input yields an
+// error, never a panic, and never a partially valid envelope.
+func (e *Envelope) DecodeFrom(data []byte) error {
+	if len(data) == 0 {
+		return errWireTruncated
+	}
+	r := wireReader{data: data[1:]}
+	switch data[0] {
+	case tagHello:
+		h := e.Hello
+		if h == nil {
+			h = &Hello{}
+		}
+		h.Game = r.str()
+		h.Script = int(r.svarint())
+		h.Habit = r.svarint()
+		h.Proto = int(r.svarint())
+		if !r.done() {
+			return r.fail()
+		}
+		e.setPayload(MsgHello)
+		e.Hello = h
+	case tagAccept:
+		a := e.Accept
+		if a == nil {
+			a = &Accept{}
+		}
+		a.SessionID = r.svarint()
+		a.Server = int(r.svarint())
+		a.Game = r.str()
+		a.Proto = int(r.svarint())
+		if !r.done() {
+			return r.fail()
+		}
+		e.setPayload(MsgAccept)
+		e.Accept = a
+	case tagReject:
+		rej := e.Reject
+		if rej == nil {
+			rej = &Reject{}
+		}
+		rej.Reason = r.str()
+		if !r.done() {
+			return r.fail()
+		}
+		e.setPayload(MsgReject)
+		e.Reject = rej
+	case tagInput:
+		in := e.Input
+		if in == nil {
+			in = &InputBatch{}
+		}
+		in.SessionID = r.svarint()
+		in.Seq = r.svarint()
+		in.Events = int(r.svarint())
+		in.SentAtMS = r.svarint()
+		n := int(r.uvarint())
+		if n < 0 || n > r.remaining() {
+			return r.fail()
+		}
+		in.Codes = append(in.Codes[:0], r.bytes(n)...)
+		if len(in.Codes) == 0 {
+			in.Codes = nil
+		}
+		if !r.done() {
+			return r.fail()
+		}
+		e.setPayload(MsgInput)
+		e.Input = in
+	case tagFrames:
+		f := e.Frames
+		if f == nil {
+			f = &FrameBatch{}
+		}
+		f.SessionID = r.svarint()
+		f.Seq = r.svarint()
+		f.FPS = r.float()
+		f.BitrateKbps = r.float()
+		f.Stage = int(r.svarint())
+		f.Loading = r.bool()
+		f.EchoSeq = r.svarint()
+		f.EchoSentAtMS = r.svarint()
+		n := int(r.uvarint())
+		// Each frame record is at least one byte on the wire.
+		if n < 0 || n > r.remaining() {
+			return r.fail()
+		}
+		frames := f.Frames[:0]
+		for i := 0; i < n; i++ {
+			v := r.uvarint()
+			if v>>1 > math.MaxUint32 {
+				return r.fail()
+			}
+			frames = append(frames, FrameInfo{SizeBytes: uint32(v >> 1), Key: v&1 != 0})
+		}
+		if len(frames) == 0 {
+			frames = nil
+		}
+		if !r.done() {
+			return r.fail()
+		}
+		f.Frames = frames
+		e.setPayload(MsgFrames)
+		e.Frames = f
+	case tagEnd:
+		st := e.End
+		if st == nil {
+			st = &SessionStat{}
+		}
+		st.SessionID = r.svarint()
+		st.DurationSec = r.svarint()
+		st.AvgFPS = r.float()
+		st.FPSRatio = r.float()
+		st.Degraded = r.float()
+		if !r.done() {
+			return r.fail()
+		}
+		e.setPayload(MsgEnd)
+		e.End = st
+	default:
+		return fmt.Errorf("streaming: unknown binary message tag %d", data[0])
+	}
+	return nil
+}
+
+// setPayload stamps the type and clears every payload pointer that does not
+// match it, so a reused envelope never carries two payloads at once.
+func (e *Envelope) setPayload(t MsgType) {
+	e.Type = t
+	if t != MsgHello {
+		e.Hello = nil
+	}
+	if t != MsgAccept {
+		e.Accept = nil
+	}
+	if t != MsgReject {
+		e.Reject = nil
+	}
+	if t != MsgInput {
+		e.Input = nil
+	}
+	if t != MsgFrames {
+		e.Frames = nil
+	}
+	if t != MsgEnd {
+		e.End = nil
+	}
+}
+
+// wireReader walks a binary payload with saturating error state: after the
+// first malformed read every subsequent read returns zero values and done()
+// reports failure, so decoders can parse straight-line and check once.
+type wireReader struct {
+	data []byte
+	off  int
+	bad  bool
+}
+
+func (r *wireReader) remaining() int { return len(r.data) - r.off }
+
+func (r *wireReader) uvarint() uint64 {
+	if r.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *wireReader) svarint() int64 {
+	v := r.uvarint()
+	// Zigzag decode.
+	return int64(v>>1) ^ -int64(v&1)
+}
+
+func (r *wireReader) float() float64 {
+	if r.bad || r.remaining() < 8 {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return math.Float64frombits(v)
+}
+
+func (r *wireReader) bool() bool {
+	if r.bad || r.remaining() < 1 {
+		r.bad = true
+		return false
+	}
+	b := r.data[r.off]
+	r.off++
+	return b != 0
+}
+
+func (r *wireReader) bytes(n int) []byte {
+	if r.bad || n < 0 || r.remaining() < n {
+		r.bad = true
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *wireReader) str() string {
+	n := int(r.uvarint())
+	if n < 0 || n > r.remaining() {
+		r.bad = true
+		return ""
+	}
+	return string(r.bytes(n))
+}
+
+// done reports whether the payload parsed cleanly and was consumed exactly.
+func (r *wireReader) done() bool { return !r.bad && r.off == len(r.data) }
+
+func (r *wireReader) fail() error {
+	return errWireTruncated
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendSvarint(buf []byte, v int64) []byte {
+	// Zigzag encode.
+	return binary.AppendUvarint(buf, uint64(v<<1)^uint64(v>>63))
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}

@@ -1,0 +1,257 @@
+package streaming
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// wireEnvelopes is one of every message type with every field exercised.
+func wireEnvelopes() []*Envelope {
+	return []*Envelope{
+		{Type: MsgHello, Hello: &Hello{Game: "Contra", Script: 2, Habit: -77, Proto: ProtoBinary}},
+		{Type: MsgAccept, Accept: &Accept{SessionID: 9, Server: 1, Game: "Genshin Impact", Proto: ProtoBinary}},
+		{Type: MsgReject, Reject: &Reject{Reason: "no server can host this game right now"}},
+		{Type: MsgInput, Input: &InputBatch{SessionID: 9, Seq: 41, Events: 3, SentAtMS: 171234, Codes: []byte{7, 14, 21}}},
+		{Type: MsgFrames, Frames: &FrameBatch{
+			SessionID: 9, Seq: 5, FPS: 59.5, BitrateKbps: 8123.25, Stage: 3,
+			Loading: true, EchoSeq: 40, EchoSentAtMS: 171200,
+			Frames: []FrameInfo{{SizeBytes: 40000, Key: true}, {SizeBytes: 10000}, {SizeBytes: 9999}},
+		}},
+		{Type: MsgEnd, End: &SessionStat{SessionID: 9, DurationSec: 900, AvgFPS: 58.2, FPSRatio: 0.97, Degraded: 0.01}},
+	}
+}
+
+func TestBinaryRoundTripAllTypes(t *testing.T) {
+	for _, in := range wireEnvelopes() {
+		blob, err := in.AppendTo(nil)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Type, err)
+		}
+		n := binary.LittleEndian.Uint32(blob)
+		if int(n) != len(blob)-4 {
+			t.Fatalf("%s: length prefix %d, body %d", in.Type, n, len(blob)-4)
+		}
+		var out Envelope
+		if err := out.DecodeFrom(blob[4:]); err != nil {
+			t.Fatalf("%s: decode: %v", in.Type, err)
+		}
+		if err := out.validate(); err != nil {
+			t.Fatalf("%s: %v", in.Type, err)
+		}
+		if !reflect.DeepEqual(in, &out) {
+			t.Errorf("%s round trip changed the message:\n in: %+v\nout: %+v", in.Type, in, &out)
+		}
+	}
+}
+
+func TestBinaryDecodeReusesStorage(t *testing.T) {
+	src := &Envelope{Type: MsgFrames, Frames: &FrameBatch{
+		SessionID: 3, Seq: 1, FPS: 60,
+		Frames: []FrameInfo{{SizeBytes: 100, Key: true}, {SizeBytes: 50}},
+	}}
+	blob, err := src.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reuse := &Envelope{Type: MsgFrames, Frames: &FrameBatch{Frames: make([]FrameInfo, 0, 8)}}
+	keepBatch, keepArr := reuse.Frames, reuse.Frames.Frames[:1]
+	if err := reuse.DecodeFrom(blob[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if reuse.Frames != keepBatch {
+		t.Error("decode allocated a fresh FrameBatch instead of reusing")
+	}
+	if &reuse.Frames.Frames[0] != &keepArr[0] {
+		t.Error("decode allocated a fresh Frames backing array instead of reusing")
+	}
+	// A reused envelope switching types must drop the stale payload.
+	end := &Envelope{Type: MsgEnd, End: &SessionStat{SessionID: 3, DurationSec: 5}}
+	blob2, err := end.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reuse.DecodeFrom(blob2[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if reuse.Type != MsgEnd || reuse.Frames != nil || reuse.End == nil {
+		t.Errorf("type switch left payloads inconsistent: %+v", reuse)
+	}
+}
+
+func TestBinaryDecodeRejectsCorruptInput(t *testing.T) {
+	good, err := wireEnvelopes()[4].AppendTo(nil) // frames
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := good[4:]
+	cases := map[string][]byte{
+		"empty":           {},
+		"unknown tag":     {0xEE, 1, 2, 3},
+		"truncated":       body[:len(body)-3],
+		"trailing bytes":  append(append([]byte{}, body...), 0, 0),
+		"huge count":      {tagFrames, 0, 0, 0x80, 0x80, 0x80, 0x80, 0x80},
+		"string overrun":  {tagHello, 0xFF, 0x01, 'x'},
+		"frames no float": {tagFrames, 2, 2, 1, 2},
+	}
+	for name, data := range cases {
+		var e Envelope
+		if err := e.DecodeFrom(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+func TestBinaryAppendToUnknownType(t *testing.T) {
+	e := &Envelope{Type: "nope"}
+	if _, err := e.AppendTo(nil); err == nil {
+		t.Fatal("AppendTo encoded an unknown message type")
+	}
+}
+
+func TestNegotiateProto(t *testing.T) {
+	cases := []struct{ client, server, want int }{
+		{0, 0, ProtoJSON},           // two legacy ends
+		{0, ProtoBinary, ProtoJSON}, // legacy client, new server
+		{ProtoBinary, 0, ProtoJSON}, // new client, legacy server
+		{ProtoBinary, ProtoBinary, ProtoBinary},
+		{ProtoJSON, ProtoBinary, ProtoJSON}, // client pinned to JSON
+		{ProtoBinary, ProtoJSON, ProtoJSON}, // server pinned to JSON
+		{99, 99, ProtoBinary},               // future versions cap at known
+		{-3, ProtoBinary, ProtoJSON},        // nonsense advertises as legacy
+	}
+	for _, c := range cases {
+		if got := NegotiateProto(c.client, c.server); got != c.want {
+			t.Errorf("NegotiateProto(%d, %d) = %d, want %d", c.client, c.server, got, c.want)
+		}
+	}
+}
+
+// TestConnBinaryConversation drives both framings over a live pipe through
+// the Conn layer, switching protocols mid-stream exactly as a session does.
+func TestConnBinaryConversation(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	_ = a.SetDeadline(deadline)
+	_ = b.SetDeadline(deadline)
+
+	done := make(chan error, 1)
+	go func() {
+		// Peer: JSON hello in, JSON accept out, then binary both ways.
+		env, err := cb.Recv()
+		if err == nil {
+			err = cb.Send(&Envelope{Type: MsgAccept, Accept: &Accept{
+				SessionID: 1, Game: env.Hello.Game, Proto: ProtoBinary,
+			}})
+		}
+		if err == nil {
+			cb.SetProto(ProtoBinary)
+			_, err = cb.Recv() // binary input batch
+		}
+		if err == nil {
+			err = cb.Send(wireEnvelopes()[4]) // binary frames
+		}
+		done <- err
+	}()
+
+	if err := ca.Send(&Envelope{Type: MsgHello, Hello: &Hello{Game: "Contra", Proto: ProtoBinary}}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := ca.Recv()
+	if err != nil || acc.Type != MsgAccept {
+		t.Fatalf("accept: %v %v", acc, err)
+	}
+	ca.SetProto(NegotiateProto(ProtoBinary, acc.Accept.Proto))
+	if ca.Proto() != ProtoBinary {
+		t.Fatalf("negotiated %d", ca.Proto())
+	}
+	if err := ca.Send(wireEnvelopes()[3]); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := ca.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(frames, wireEnvelopes()[4]) {
+		t.Errorf("binary frames changed in flight: %+v", frames)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConnRejectsOversizedBinaryFrame ensures a hostile length prefix is an
+// error, not an allocation.
+func TestConnRejectsOversizedBinaryFrame(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	_ = b.SetDeadline(time.Now().Add(2 * time.Second))
+	conn := NewConn(b)
+	conn.SetProto(ProtoBinary)
+	go func() {
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], maxWireFrame+1)
+		_, _ = a.Write(hdr[:])
+	}()
+	if err := conn.RecvInto(&Envelope{}); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestJSONWireCompatibility pins the JSON framing: a hand-rolled legacy
+// client (raw json over the socket, no Proto field anywhere) must complete
+// a whole session against the current server — the cross-version guarantee.
+func TestJSONWireCompatibility(t *testing.T) {
+	s := startServer(t)
+	nc, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	_ = nc.SetDeadline(time.Now().Add(time.Minute))
+	enc := json.NewEncoder(nc)
+	dec := json.NewDecoder(bufio.NewReader(nc))
+
+	// A pre-negotiation client: its Hello has no proto field at all.
+	if err := enc.Encode(map[string]any{
+		"type": "hello", "hello": map[string]any{"game": "Contra", "script": 0},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var accept Envelope
+	if err := dec.Decode(&accept); err != nil {
+		t.Fatal(err)
+	}
+	if accept.Type != MsgAccept {
+		t.Fatalf("legacy hello answered with %q", accept.Type)
+	}
+	if accept.Accept.Proto != ProtoJSON {
+		t.Fatalf("server negotiated proto %d with a legacy client", accept.Accept.Proto)
+	}
+	frames := 0
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			t.Fatalf("after %d frames: %v", frames, err)
+		}
+		switch env.Type {
+		case MsgFrames:
+			frames++
+		case MsgEnd:
+			if frames == 0 {
+				t.Fatal("session ended with no frames")
+			}
+			return
+		default:
+			t.Fatalf("unexpected %q", env.Type)
+		}
+	}
+}
