@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt lint bench bench-fleet bench-record bench-stream
+.PHONY: all build test race fmt lint docs-check bench bench-fleet bench-record bench-stream bench-coord
 
 all: build test
 
@@ -14,11 +14,17 @@ test:
 	$(GO) test ./...
 
 # lint runs go vet plus cocg-lint, the repo-specific determinism &
-# correctness analyzers (see docs/STATIC_ANALYSIS.md). It exits non-zero on
-# any finding.
-lint:
+# correctness analyzers (see docs/STATIC_ANALYSIS.md), plus the docs link
+# checker. It exits non-zero on any finding.
+lint: docs-check
 	$(GO) vet ./...
 	$(GO) run ./cmd/cocg-lint ./...
+
+# docs-check fails when any relative markdown link in README.md or docs/
+# points at a file that no longer exists — the docs must not drift from the
+# tree they describe.
+docs-check:
+	$(GO) run ./cmd/cocg-docscheck
 
 # race is the concurrency gate: formatting must be clean, the analyzers must
 # be silent, and the full suite (including the worker-count-invariance and
@@ -67,3 +73,14 @@ bench-stream: lint
 		-pkgs ./internal/streaming -out /tmp/cocg-stream-baseline.json
 	$(GO) run ./cmd/cocg-bench -bench 'WireFrameBatch|Registry|StreamTick' \
 		-pkgs ./internal/streaming -baseline /tmp/cocg-stream-baseline.json -out $(STREAM_BENCH_OUT)
+
+# bench-coord runs the fleet-tier benchmarks through cmd/cocg-bench and
+# records BENCH_PR6.json: routing decisions/sec (one full score + rank over
+# 4- to 1024-region fleets; ns/op is the per-session routing latency the
+# coordinator adds before the first dial) and the forecast-backed 256-server
+# cluster load summary each probe round costs. Lint-gated like every recorded
+# measurement.
+COORD_BENCH_OUT ?= BENCH_PR6.json
+bench-coord: lint
+	$(GO) run ./cmd/cocg-bench -bench 'FleetRoute|ClusterLoad' \
+		-pkgs ./internal/... -out $(COORD_BENCH_OUT)

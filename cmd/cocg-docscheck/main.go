@@ -1,0 +1,129 @@
+// Command cocg-docscheck is the documentation link checker wired into `make
+// docs-check` (and through it `make lint`): it walks the repo's markdown —
+// README.md plus everything under docs/ by default — and fails when any
+// relative link points at a file that does not exist. External links
+// (http/https/mailto) and pure in-page anchors are out of scope; the tool
+// exists to catch the docs drifting from the tree, not to audit the
+// internet.
+//
+// Usage:
+//
+//	cocg-docscheck [-root dir] [paths...]
+//
+// Each path is a markdown file or a directory to walk for *.md files,
+// resolved under -root (default "."). Links starting with "/" resolve
+// against -root, everything else against the containing file's directory;
+// fragments ("#section") are stripped before the existence check. Exits 0
+// when every link resolves, 2 with a file:line listing otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkPattern matches inline markdown links and images: [text](target) and
+// ![alt](target). Reference-style definitions ("[id]: target") are rare in
+// this repo and intentionally out of scope.
+var linkPattern = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+func main() {
+	root := flag.String("root", ".", "repository root that rooted (/...) links resolve against")
+	flag.Parse()
+
+	targets := flag.Args()
+	if len(targets) == 0 {
+		targets = []string{"README.md", "docs"}
+	}
+
+	var files []string
+	for _, tgt := range targets {
+		path := filepath.Join(*root, tgt)
+		info, err := os.Stat(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cocg-docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		if !info.IsDir() {
+			files = append(files, path)
+			continue
+		}
+		err = filepath.WalkDir(path, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(p, ".md") {
+				files = append(files, p)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cocg-docscheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	broken := 0
+	checked := 0
+	for _, file := range files {
+		b, c, err := checkFile(file, *root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cocg-docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		broken += b
+		checked += c
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "cocg-docscheck: %d broken link(s) across %d file(s)\n", broken, len(files))
+		os.Exit(2)
+	}
+	fmt.Printf("cocg-docscheck: %d links across %d markdown files all resolve\n", checked, len(files))
+}
+
+// checkFile scans one markdown file and reports its broken relative links.
+func checkFile(file, root string) (broken, checked int, err error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return 0, 0, err
+	}
+	inFence := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue // code blocks show literal syntax, not navigable links
+		}
+		for _, m := range linkPattern.FindAllStringSubmatch(line, -1) {
+			target := strings.TrimSpace(m[1])
+			target = strings.TrimSuffix(target, ">")
+			target = strings.TrimPrefix(target, "<")
+			if target == "" || strings.Contains(target, "://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			if idx := strings.IndexByte(target, '#'); idx >= 0 {
+				target = target[:idx] // the existence check is per-file, not per-anchor
+			}
+			var resolved string
+			if strings.HasPrefix(target, "/") {
+				resolved = filepath.Join(root, target)
+			} else {
+				resolved = filepath.Join(filepath.Dir(file), target)
+			}
+			checked++
+			if _, statErr := os.Stat(resolved); statErr != nil {
+				fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (resolved %s)\n", file, i+1, m[1], resolved)
+				broken++
+			}
+		}
+	}
+	return broken, checked, nil
+}

@@ -1,16 +1,22 @@
 // Command cocg-loadgen drives a fleet of concurrent cocg-client sessions
-// against a running cocg-server and reports the serving-path throughput the
-// way a load-test harness would: admission rate, aggregate frame-batch
-// throughput, the p50/p99 inter-batch delivery latency seen by clients, and
-// how many batches the server shed under backpressure.
+// against a running cocg-server — or a cocg-coordinator fronting many of
+// them — and reports the serving-path throughput the way a load-test harness
+// would: admission rate, aggregate frame-batch throughput, the p50/p99
+// inter-batch delivery latency seen by clients, and how many batches the
+// server shed under backpressure.
 //
 // Usage:
 //
 //	cocg-loadgen [-addr host:port] [-n 64] [-c 32] [-game Contra] [-script -1]
-//	             [-proto binary|json] [-timeout 2m]
+//	             [-mix] [-proto binary|json] [-timeout 2m]
 //
 // A -script of -1 rotates every session through the game's script list, so
-// the offered load exercises all trained stage mixes.
+// the offered load exercises all trained stage mixes. -mix is the fleet
+// mode: sessions rotate through every registered game (ignoring -game), the
+// offered load that exercises a coordinator's per-game routing weights. When
+// the target is a coordinator, the summary additionally reports the routing
+// distribution — how many sessions each cluster (region) served, as stamped
+// in the Accept's "cluster" field.
 package main
 
 import (
@@ -40,6 +46,7 @@ func main() {
 	n := flag.Int("n", 64, "total sessions to play")
 	c := flag.Int("c", 32, "concurrent sessions in flight")
 	game := flag.String("game", "Contra", "game to request")
+	mix := flag.Bool("mix", false, "fleet mode: rotate sessions through every registered game (ignores -game)")
 	script := flag.Int("script", -1, "script index; -1 rotates through the game's scripts")
 	proto := flag.String("proto", "binary", "max wire protocol to offer: binary or json (legacy)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-session timeout")
@@ -51,18 +58,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cocg-loadgen: unknown protocol %q\n", *proto)
 		os.Exit(2)
 	}
-	spec, err := gamesim.GameByName(*game)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cocg-loadgen:", err)
-		os.Exit(2)
+	games := []*gamesim.GameSpec{}
+	if *mix {
+		games = gamesim.AllGames()
+	} else {
+		spec, err := gamesim.GameByName(*game)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cocg-loadgen:", err)
+			os.Exit(2)
+		}
+		games = append(games, spec)
 	}
 	if *n <= 0 {
 		fmt.Fprintln(os.Stderr, "cocg-loadgen: -n must be positive")
 		os.Exit(2)
 	}
 
+	offered := games[0].Name
+	if *mix {
+		offered = fmt.Sprintf("a %d-game mix", len(games))
+	}
 	fmt.Printf("cocg-loadgen: %d sessions of %s against %s (%s wire, %d in flight)\n",
-		*n, spec.Name, *addr, *proto, *c)
+		*n, offered, *addr, *proto, *c)
 
 	results := make([]sessionResult, *n)
 	var inFlight, peak atomic.Int64
@@ -80,9 +97,10 @@ func main() {
 			}
 			defer inFlight.Add(-1)
 			r := &results[i]
+			spec := games[i%len(games)]
 			sc := *script
 			if sc < 0 {
-				sc = i % len(spec.Scripts)
+				sc = (i / len(games)) % len(spec.Scripts)
 			}
 			var mu sync.Mutex
 			var last time.Time
@@ -113,6 +131,7 @@ func main() {
 	var rttN int
 	var lat []float64
 	var firstErr error
+	byCluster := map[string]int{}
 	for _, r := range results {
 		if r.err != nil {
 			rejected++
@@ -127,6 +146,9 @@ func main() {
 		if r.stats.MeanRTTMS > 0 {
 			rttSum += r.stats.MeanRTTMS
 			rttN++
+		}
+		if r.stats.Cluster != "" {
+			byCluster[r.stats.Cluster]++
 		}
 		lat = append(lat, r.gaps...)
 	}
@@ -148,6 +170,18 @@ func main() {
 		fmt.Printf("  input:    mean RTT %.1f ms across %d sessions\n", rttSum/float64(rttN), rttN)
 	}
 	fmt.Printf("  drops:    %d sequence gaps (batches coalesced or dropped under backpressure)\n", drops)
+	if len(byCluster) > 0 {
+		names := make([]string, 0, len(byCluster))
+		for name := range byCluster {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, byCluster[name]))
+		}
+		fmt.Printf("  routing:  %s\n", strings.Join(parts, " "))
+	}
 	if completed == 0 {
 		os.Exit(1)
 	}

@@ -1,0 +1,246 @@
+package coordinator
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cocg/internal/core"
+	"cocg/internal/gamesim"
+	"cocg/internal/streaming"
+)
+
+var (
+	sysOnce sync.Once
+	sysVal  *core.System
+	sysErr  error
+)
+
+func testSystem(t testing.TB) *core.System {
+	t.Helper()
+	sysOnce.Do(func() {
+		sysVal, sysErr = core.Train(
+			[]*gamesim.GameSpec{gamesim.Contra(), gamesim.GenshinImpact()},
+			core.TrainOptions{Players: 4, SessionsPerPlayer: 2, Seed: 77},
+		)
+	})
+	if sysErr != nil {
+		t.Fatal(sysErr)
+	}
+	return sysVal
+}
+
+// startCluster brings up one in-process cocg-server cluster for the fleet.
+func startCluster(t *testing.T, tick time.Duration) *streaming.Server {
+	t.Helper()
+	s, err := streaming.Serve("127.0.0.1:0", streaming.ServerConfig{
+		System:    testSystem(t),
+		Policy:    core.PolicyCoCG,
+		Servers:   4,
+		TickEvery: tick,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// startFleet builds a coordinator over the given clusters and waits until
+// the probers have seen every one healthy.
+func startFleet(t *testing.T, specs []ClusterSpec) *Coordinator {
+	t.Helper()
+	co, err := Serve("127.0.0.1:0", Config{
+		Clusters:   specs,
+		ProbeEvery: 10 * time.Millisecond,
+		DownAfter:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { co.Close() })
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		healthy := 0
+		for _, m := range co.members {
+			if v := m.view(); v.Healthy {
+				healthy++
+			}
+		}
+		if healthy == len(specs) {
+			return co
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d clusters became healthy", healthy, len(specs))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFleetRoutesToNearestCluster is the happy-path e2e: a session played
+// through the coordinator completes end to end, lands on the low-latency
+// region of an otherwise idle fleet, and the client learns which cluster
+// served it from the Accept stamp.
+func TestFleetRoutesToNearestCluster(t *testing.T) {
+	near := startCluster(t, time.Millisecond)
+	far := startCluster(t, time.Millisecond)
+	co := startFleet(t, []ClusterSpec{
+		{Name: "far", Addr: far.Addr(), LatencyMS: 120},
+		{Name: "near", Addr: near.Addr(), LatencyMS: 5},
+	})
+
+	stats, err := streaming.Play(co.Addr(), streaming.ClientConfig{Game: "Contra", Script: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cluster != "near" {
+		t.Errorf("idle fleet routed to %q, want the low-latency cluster", stats.Cluster)
+	}
+	if stats.Frames == 0 || stats.Final.DurationSec == 0 {
+		t.Errorf("proxied session streamed nothing: %+v", stats)
+	}
+	if stats.Proto != streaming.ProtoBinary {
+		t.Errorf("proxied session negotiated proto %d, want binary end to end", stats.Proto)
+	}
+	if got := co.decisions.Load(); got != 1 {
+		t.Errorf("routing decisions %d, want 1", got)
+	}
+	if got := co.admissions.Load(); got != 1 {
+		t.Errorf("admissions %d, want 1", got)
+	}
+	if got := co.members[1].admitted.Load(); got != 1 {
+		t.Errorf("near cluster admitted %d sessions, want 1", got)
+	}
+}
+
+// TestFleetFailsOverWhenClusterDies is the degraded-mode e2e: with the
+// preferred region killed mid-run, new sessions fail over to the survivor
+// within a single admission (the dead dial is the detector), the fleet
+// counters record it, and the prober marks the region down.
+func TestFleetFailsOverWhenClusterDies(t *testing.T) {
+	doomed := startCluster(t, time.Millisecond)
+	survivor := startCluster(t, time.Millisecond)
+	co := startFleet(t, []ClusterSpec{
+		{Name: "doomed", Addr: doomed.Addr(), LatencyMS: 5},
+		{Name: "survivor", Addr: survivor.Addr(), LatencyMS: 120},
+	})
+
+	if err := doomed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The prober may not have noticed yet: the very next session must still
+	// land, failing over from the dead dial to the survivor.
+	stats, err := streaming.Play(co.Addr(), streaming.ClientConfig{Game: "Contra", Script: 0})
+	if err != nil {
+		t.Fatalf("session during failover: %v", err)
+	}
+	if stats.Cluster != "survivor" {
+		t.Errorf("failover routed to %q, want survivor", stats.Cluster)
+	}
+	if stats.Frames == 0 {
+		t.Error("failover session streamed nothing")
+	}
+	if co.failovers.Load()+co.members[0].transport.Load() == 0 {
+		t.Error("no failover or transport failure recorded against the dead cluster")
+	}
+
+	// The prober must flip the verdict, after which routing excludes the
+	// region entirely.
+	deadline := time.Now().Add(10 * time.Second)
+	for co.members[0].view().Healthy && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if co.members[0].view().Healthy {
+		t.Fatal("dead cluster never marked down")
+	}
+	if got := co.markedDown.Load(); got == 0 {
+		t.Error("marked-down counter never moved")
+	}
+	stats, err = streaming.Play(co.Addr(), streaming.ClientConfig{Game: "Genshin Impact", Script: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cluster != "survivor" {
+		t.Errorf("post-mark-down session routed to %q", stats.Cluster)
+	}
+}
+
+// TestFleetRejectsWhenAllClustersDown pins the all-dead answer: a clean
+// protocol-level rejection, not a hang or a dropped connection.
+func TestFleetRejectsWhenAllClustersDown(t *testing.T) {
+	only := startCluster(t, time.Millisecond)
+	co := startFleet(t, []ClusterSpec{{Name: "only", Addr: only.Addr(), LatencyMS: 5}})
+	if err := only.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := streaming.Play(co.Addr(), streaming.ClientConfig{Game: "Contra", Script: 0}); err == nil {
+		t.Fatal("session against a dead fleet succeeded")
+	}
+	if got := co.rejections.Load(); got != 1 {
+		t.Errorf("rejections %d, want 1", got)
+	}
+}
+
+// TestCoordinatorCloseWithLiveSessionsLeaksNothing is the shutdown audit for
+// the proxy tier, mirroring the streaming server's: closing a coordinator
+// with sessions mid-pipe must tear down the listener, every prober, and both
+// relay goroutines of every live session — and leak nothing.
+func TestCoordinatorCloseWithLiveSessionsLeaksNothing(t *testing.T) {
+	// The clusters never tick: every proxied session is provably still live
+	// when Close runs.
+	a := startCluster(t, time.Hour)
+	b := startCluster(t, time.Hour)
+	before := runtime.NumGoroutine()
+	co := startFleet(t, []ClusterSpec{
+		{Name: "a", Addr: a.Addr(), LatencyMS: 5},
+		{Name: "b", Addr: b.Addr(), LatencyMS: 40},
+	})
+
+	const n = 3
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Errors are expected: the coordinator goes away mid-session.
+			_, _ = streaming.Play(co.Addr(), streaming.ClientConfig{Game: "Genshin Impact", Script: i % 3, Timeout: time.Minute})
+		}(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for co.Sessions() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if co.Sessions() < n {
+		t.Fatalf("only %d of %d sessions appeared", co.Sessions(), n)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- co.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close() hung with live proxied sessions — goroutine leak")
+	}
+	wg.Wait()
+
+	// Every coordinator goroutine must be gone; allow slack for runtime/test
+	// helpers that come and go.
+	for end := time.Now().Add(5 * time.Second); time.Now().Before(end); {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+}
+
+// TestParseRejectsBadConfig covers Serve's validation.
+func TestServeRejectsEmptyFleet(t *testing.T) {
+	if _, err := Serve("127.0.0.1:0", Config{}); err == nil {
+		t.Fatal("Serve accepted an empty fleet")
+	}
+}

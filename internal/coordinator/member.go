@@ -1,0 +1,191 @@
+package coordinator
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cocg/internal/streaming"
+)
+
+// ClusterSpec configures one cluster (region/zone) the coordinator fronts.
+type ClusterSpec struct {
+	// Name labels the cluster in metrics and Accept.Cluster stamps; empty
+	// defaults to the address.
+	Name string
+	// Addr is the cluster's cocg-server session/summary address.
+	Addr string
+	// LatencyMS is the simulated user→region round-trip time the routing
+	// score charges for this cluster.
+	LatencyMS float64
+}
+
+// member is one cluster's runtime state: the prober-owned summary feed, the
+// health verdict routing reads, and per-cluster traffic counters.
+type member struct {
+	id   int
+	name string
+	addr string
+	lat  float64
+
+	// mu guards the health state and the last summary. The feed connection
+	// is owned exclusively by the prober goroutine and is tracked separately
+	// (connMu) only so Close can force a blocked Recv down.
+	mu       sync.Mutex
+	healthy  bool
+	failures int
+	summary  streaming.ClusterSummary
+	probed   bool // at least one summary ever landed
+
+	connMu sync.Mutex
+	nc     net.Conn
+
+	// Traffic counters (monotonic since start).
+	routed    atomic.Uint64 // sessions for which this cluster was dialed
+	admitted  atomic.Uint64 // sessions this cluster accepted
+	rejected  atomic.Uint64 // sessions this cluster declined (admission full)
+	transport atomic.Uint64 // session attempts lost to dial/transport errors
+}
+
+// view snapshots the member into the immutable form routing reads.
+func (m *member) view() ClusterView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ClusterView{
+		ID:           m.id,
+		Healthy:      m.healthy,
+		LatencyMS:    m.lat,
+		Headroom:     m.summary.Headroom,
+		LiveSessions: m.summary.LiveSessions,
+	}
+}
+
+// noteSummary records a successful probe: the member is healthy and its load
+// view is fresh.
+func (m *member) noteSummary(sum streaming.ClusterSummary) {
+	m.mu.Lock()
+	m.healthy = true
+	m.failures = 0
+	m.summary = sum
+	m.probed = true
+	m.mu.Unlock()
+}
+
+// noteFailure records one failed probe or session transport error and
+// reports whether this failure crossed the unhealthy threshold.
+func (m *member) noteFailure(downAfter int) (wentDown bool) {
+	m.mu.Lock()
+	m.failures++
+	if m.failures >= downAfter && m.healthy {
+		m.healthy = false
+		wentDown = true
+	}
+	m.mu.Unlock()
+	return wentDown
+}
+
+// closeFeed tears the summary feed down (from the prober after an error, or
+// from Close to unblock a pending Recv).
+func (m *member) closeFeed() {
+	m.connMu.Lock()
+	if m.nc != nil {
+		_ = m.nc.Close() // best-effort teardown
+		m.nc = nil
+	}
+	m.connMu.Unlock()
+}
+
+// probeLoop runs the member's health/load feed until the coordinator closes:
+// (re)establish the feed, pull a summary every ProbeEvery, and flip the
+// health verdict on consecutive failures. One prober per member — the feed
+// connection never sees concurrent use.
+func (co *Coordinator) probeLoop(m *member) {
+	defer co.wg.Done()
+	ticker := time.NewTicker(co.cfg.ProbeEvery)
+	defer ticker.Stop()
+	var feed *streaming.Conn
+	for {
+		feed = co.probeOnce(m, feed)
+		select {
+		case <-co.done:
+			if feed != nil {
+				m.closeFeed()
+			}
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// probeOnce pulls one summary over the feed, dialing it first when absent,
+// and returns the feed for the next round (nil after an error, so the next
+// round redials).
+func (co *Coordinator) probeOnce(m *member, feed *streaming.Conn) *streaming.Conn {
+	deadline := time.Now().Add(co.cfg.ProbeTimeout)
+	if feed == nil {
+		nc, err := net.DialTimeout("tcp", m.addr, co.cfg.DialTimeout)
+		if err != nil {
+			co.probeFailed(m, err)
+			return nil
+		}
+		m.connMu.Lock()
+		m.nc = nc
+		m.connMu.Unlock()
+		feed = streaming.NewConn(nc)
+		// First request negotiates the wire protocol, exactly like a session
+		// Hello: request and reply travel as JSON, the rest of the feed
+		// switches to the negotiated framing (binary against a current
+		// cluster).
+		_ = nc.SetDeadline(deadline)
+		if err := feed.Send(&streaming.Envelope{Type: streaming.MsgSummaryReq,
+			SummaryReq: &streaming.SummaryReq{Proto: streaming.ProtoBinary}}); err != nil {
+			m.closeFeed()
+			co.probeFailed(m, err)
+			return nil
+		}
+		env, err := feed.Recv()
+		if err != nil || env.Type != streaming.MsgSummary {
+			m.closeFeed()
+			co.probeFailed(m, err)
+			return nil
+		}
+		feed.SetProto(streaming.NegotiateProto(streaming.ProtoBinary, env.Summary.Proto))
+		m.noteSummary(*env.Summary)
+		return feed
+	}
+	_ = m.ncDeadline(deadline)
+	if err := feed.Send(&streaming.Envelope{Type: streaming.MsgSummaryReq,
+		SummaryReq: &streaming.SummaryReq{}}); err != nil {
+		m.closeFeed()
+		co.probeFailed(m, err)
+		return nil
+	}
+	env, err := feed.Recv()
+	if err != nil || env.Type != streaming.MsgSummary {
+		m.closeFeed()
+		co.probeFailed(m, err)
+		return nil
+	}
+	m.noteSummary(*env.Summary)
+	return feed
+}
+
+// ncDeadline stamps the probe deadline on the feed's transport, tolerating a
+// feed torn down concurrently by Close.
+func (m *member) ncDeadline(t time.Time) error {
+	m.connMu.Lock()
+	defer m.connMu.Unlock()
+	if m.nc == nil {
+		return net.ErrClosed
+	}
+	return m.nc.SetDeadline(t)
+}
+
+// probeFailed folds one probe failure into the member's health state.
+func (co *Coordinator) probeFailed(m *member, err error) {
+	if m.noteFailure(co.cfg.DownAfter) {
+		co.markedDown.Add(1)
+		co.logf("coordinator: cluster %s (%s) marked down: %v", m.name, m.addr, err)
+	}
+}

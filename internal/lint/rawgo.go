@@ -9,8 +9,8 @@ import (
 // internal/parallel precisely so worker count cannot change results; an
 // unmanaged goroutine reintroduces scheduling-order dependence and escapes
 // the pool's panic propagation and sizing. internal/parallel itself and the
-// network server internal/streaming (whose per-connection goroutines are
-// inherent) are exempt, as are tests.
+// network servers internal/streaming and internal/coordinator (whose
+// per-connection goroutines are inherent) are exempt, as are tests.
 var RawGo = &Analyzer{
 	Name: "rawgo",
 	Doc:  "raw go statements in internal/ packages outside the worker pool",
@@ -20,8 +20,9 @@ var RawGo = &Analyzer{
 // rawGoExempt lists the internal packages allowed to start goroutines
 // directly.
 var rawGoExempt = map[string]bool{
-	"internal/parallel":  true,
-	"internal/streaming": true,
+	"internal/parallel":    true,
+	"internal/streaming":   true,
+	"internal/coordinator": true,
 }
 
 func runRawGo(pass *Pass) {

@@ -8,9 +8,10 @@ import (
 // inside internal/ packages. The simulation runs on internal/simclock virtual
 // time so that experiments replay bit-identically; a single time.Now in a hot
 // path silently couples results to the host. The network-facing
-// internal/streaming package and the sampling layer internal/telemetry are
-// exempt — they genuinely interoperate with real time — as are the cmd/ and
-// examples/ front-ends, which time their own wall-clock progress reporting.
+// internal/streaming and internal/coordinator packages and the sampling
+// layer internal/telemetry are exempt — they genuinely interoperate with
+// real time — as are the cmd/ and examples/ front-ends, which time their own
+// wall-clock progress reporting.
 var WallTime = &Analyzer{
 	Name: "walltime",
 	Doc:  "wall-clock reads (time.Now/Since/Until) in internal/ packages that must use simclock",
@@ -19,8 +20,9 @@ var WallTime = &Analyzer{
 
 // wallTimeExempt lists the internal packages allowed to read real time.
 var wallTimeExempt = map[string]bool{
-	"internal/streaming": true,
-	"internal/telemetry": true,
+	"internal/streaming":   true,
+	"internal/telemetry":   true,
+	"internal/coordinator": true,
 }
 
 // wallClockFuncs are the time functions that observe the wall clock.

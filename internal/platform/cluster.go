@@ -103,6 +103,17 @@ type PlacementPreparer interface {
 	PreparePlacement(servers []*Server)
 }
 
+// LoadSummarizer is an optional Policy refinement for the multi-cluster
+// coordinator tier: ClusterLoad reports the fraction of the fleet's capacity
+// (0 = saturated, 1 = idle) the policy predicts will remain free over its
+// forecast horizon. Policies without forward-looking models return ok=false
+// and the caller falls back to instantaneous utilization. Like Admit and
+// Score, ClusterLoad is a serial entry point — callers must not invoke it
+// concurrently with other policy methods on the same instance.
+type LoadSummarizer interface {
+	ClusterLoad(servers []*Server) (headroom float64, ok bool)
+}
+
 // placementChunk is the fleet-scan granularity: servers are scored in
 // fixed 32-wide chunks so a parallel scan keeps every worker busy on a
 // 1k-server fleet while the chunk boundaries (and hence per-chunk scratch

@@ -1,0 +1,48 @@
+package scheduler
+
+import (
+	"testing"
+
+	"cocg/internal/gamesim"
+	"cocg/internal/platform"
+)
+
+// BenchmarkClusterLoad measures the per-cluster load summary the coordinator
+// tier polls: a full forecast-backed headroom rollup over a 256-server
+// cluster hosting live sessions. Steady state rides the PR 4 per-server
+// caches — one revision check per server, recompute only where placements
+// moved — so this is the cost a summary feed adds to a cluster every probe
+// period.
+func BenchmarkClusterLoad(b *testing.B) {
+	spec := gamesim.GenshinImpact()
+	p := policyFor(b, spec)
+	c := platform.NewCluster(256, p)
+	// Populate every 4th server with two live sessions and let their
+	// controllers tick so the demand forecasts are realistic.
+	for i := 0; i < len(c.Servers); i += 4 {
+		for k := int64(0); k < 2; k++ {
+			id := int64(i)*10 + k
+			sess, err := gamesim.NewSession(spec, 2, id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctl, err := p.NewController(spec, id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Servers[i].Add(spec, sess, ctl)
+		}
+	}
+	for j := 0; j < 30; j++ {
+		c.Tick()
+	}
+	if _, ok := p.ClusterLoad(c.Servers); !ok {
+		b.Fatal("CoCG did not implement ClusterLoad")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ClusterLoad(c.Servers)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "summaries/s")
+}

@@ -447,6 +447,52 @@ func (c *CoCG) verdict(cc *serverCache, srv *platform.Server, b *predictor.Train
 	return meanSat >= c.cfg.MinMeanSat, meanSat
 }
 
+// ClusterLoad implements platform.LoadSummarizer: the per-cluster summary
+// the coordinator tier routes on. It reuses the distributor's stamped
+// per-server forecast caches — the same aggregate demand timelines Algorithm
+// 1 admits against — so computing a fleet summary costs one cache
+// revalidation per server in steady state, not a re-forecast. A server's
+// headroom is 1 minus its worst predicted per-dimension utilization fraction
+// over the horizon (clamped at 0); the cluster's headroom is the mean over
+// non-draining servers. Like Admit and Score this is a serial entry point:
+// it may refresh caches through the policy's own scratch.
+func (c *CoCG) ClusterLoad(servers []*platform.Server) (float64, bool) {
+	h := c.cfg.HorizonFrames
+	var sum float64
+	n := 0
+	for _, srv := range servers {
+		if srv.Draining {
+			continue
+		}
+		cc := c.caches[srv]
+		if cc == nil {
+			cc = &serverCache{}
+			c.caches[srv] = cc
+		}
+		c.refresh(cc, srv, h, &c.scratch)
+		peak := 0.0
+		for t := range cc.total {
+			for d := range cc.total[t] {
+				if capd := srv.Capacity[d]; capd > 0 {
+					if f := cc.total[t][d] / capd; f > peak {
+						peak = f
+					}
+				}
+			}
+		}
+		head := 1 - peak
+		if head < 0 {
+			head = 0
+		}
+		sum += head
+		n++
+	}
+	if n == 0 {
+		return 0, true // every server draining: no admittable capacity
+	}
+	return sum / float64(n), true
+}
+
 // Regulate implements platform.Policy: when the hosted games' combined
 // requests head past capacity, the regulator first throttles games that are
 // loading — users tolerate a longer loading screen far better than dropped

@@ -16,6 +16,7 @@ var ErrRejected = errors.New("streaming: session rejected")
 type ClientStats struct {
 	Game        string
 	SessionID   int64
+	Cluster     string  // region/zone that hosted the session (set when played through a coordinator)
 	Proto       int     // negotiated wire protocol version
 	Frames      int     // frame batches received
 	SeqGaps     int     // batches the server dropped or coalesced under backpressure
@@ -99,7 +100,7 @@ func Play(addr string, cfg ClientConfig) (*ClientStats, error) {
 	proto := NegotiateProto(cfg.MaxProto, env.Accept.Proto)
 	conn.SetProto(proto)
 
-	stats := &ClientStats{Game: cfg.Game, SessionID: env.Accept.SessionID, Proto: proto}
+	stats := &ClientStats{Game: cfg.Game, SessionID: env.Accept.SessionID, Cluster: env.Accept.Cluster, Proto: proto}
 	var fpsSum, brSum, rttSum float64
 	var rttN int
 	var inputSeq, lastSeq int64

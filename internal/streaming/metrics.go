@@ -34,6 +34,7 @@ type snapshot struct {
 	ShardContention uint64 `json:"shard_contention"`
 	SessionsJSON    uint64 `json:"sessions_json"`
 	SessionsBinary  uint64 `json:"sessions_binary"`
+	SummariesServed uint64 `json:"summaries_served"`
 }
 
 type serverSnapshot struct {
@@ -66,6 +67,7 @@ func (s *Server) snapshot() snapshot {
 	out.ShardContention = s.reg.contention.Load()
 	out.SessionsJSON = s.protoSessions[ProtoJSON].Load()
 	out.SessionsBinary = s.protoSessions[ProtoBinary].Load()
+	out.SummariesServed = s.summariesServed.Load()
 	return out
 }
 
@@ -92,6 +94,8 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE cocg_stream_sessions_total counter\n")
 	fmt.Fprintf(w, "cocg_stream_sessions_total{proto=\"json\"} %d\n", snap.SessionsJSON)
 	fmt.Fprintf(w, "cocg_stream_sessions_total{proto=\"binary\"} %d\n", snap.SessionsBinary)
+	fmt.Fprintf(w, "# HELP cocg_stream_summaries_served_total Cluster load summaries served to coordinators.\n")
+	fmt.Fprintf(w, "# TYPE cocg_stream_summaries_served_total counter\ncocg_stream_summaries_served_total %d\n", snap.SummariesServed)
 	fmt.Fprintf(w, "# HELP cocg_server_hosted Games hosted per backend server.\n")
 	fmt.Fprintf(w, "# TYPE cocg_server_hosted gauge\n")
 	for _, srv := range snap.Servers {

@@ -37,18 +37,26 @@ const (
 	MsgFrames MsgType = "frames"
 	// MsgEnd closes a session with its final statistics.
 	MsgEnd MsgType = "end"
+	// MsgSummaryReq asks the server for a cluster load summary. It opens (and
+	// then paces) a coordinator's health/load feed; a connection whose first
+	// message is a MsgSummaryReq never hosts a game session.
+	MsgSummaryReq MsgType = "summary_req"
+	// MsgSummary answers a MsgSummaryReq with the cluster's load summary.
+	MsgSummary MsgType = "summary"
 )
 
 // Envelope is the single wire frame; exactly one payload field is set,
 // matching Type.
 type Envelope struct {
-	Type   MsgType      `json:"type"`
-	Hello  *Hello       `json:"hello,omitempty"`
-	Accept *Accept      `json:"accept,omitempty"`
-	Reject *Reject      `json:"reject,omitempty"`
-	Input  *InputBatch  `json:"input,omitempty"`
-	Frames *FrameBatch  `json:"frames,omitempty"`
-	End    *SessionStat `json:"end,omitempty"`
+	Type       MsgType         `json:"type"`
+	Hello      *Hello          `json:"hello,omitempty"`
+	Accept     *Accept         `json:"accept,omitempty"`
+	Reject     *Reject         `json:"reject,omitempty"`
+	Input      *InputBatch     `json:"input,omitempty"`
+	Frames     *FrameBatch     `json:"frames,omitempty"`
+	End        *SessionStat    `json:"end,omitempty"`
+	SummaryReq *SummaryReq     `json:"summary_req,omitempty"`
+	Summary    *ClusterSummary `json:"summary,omitempty"`
 }
 
 // Hello opens a session. It is always sent in the JSON framing.
@@ -71,6 +79,11 @@ type Accept struct {
 	// Proto is the wire protocol version the server chose for the rest of
 	// the session; 0 (an old server) means ProtoJSON.
 	Proto int `json:"proto,omitempty"`
+	// Cluster names the region/zone that hosts the session. A cocg-server
+	// leaves it empty; the coordinator stamps it while relaying the Accept so
+	// clients (and the load generator's routing report) can see where they
+	// landed.
+	Cluster string `json:"cluster,omitempty"`
 }
 
 // Reject declines a Hello.
@@ -126,6 +139,42 @@ type SessionStat struct {
 	AvgFPS      float64 `json:"avg_fps"`
 	FPSRatio    float64 `json:"fps_ratio"`
 	Degraded    float64 `json:"degraded"`
+}
+
+// SummaryReq opens or paces a cluster-summary feed (coordinator -> cluster).
+// Like Hello, the first SummaryReq of a connection is always sent in the JSON
+// framing and negotiates the protocol for the rest of the feed.
+type SummaryReq struct {
+	// Proto is the highest wire protocol version the requester speaks;
+	// 0 means ProtoJSON (see Hello.Proto).
+	Proto int `json:"proto,omitempty"`
+}
+
+// ClusterSummary is one cluster's load summary (cluster -> coordinator): the
+// per-cluster rollup the coordinator tier routes on. Headroom is the
+// scheduler's forecast-backed estimate when the policy implements
+// platform.LoadSummarizer (CoCG sums its cached per-server demand timelines),
+// else the instantaneous utilization fallback.
+type ClusterSummary struct {
+	// Proto is the wire protocol version the server chose for the feed; set
+	// only on the first reply (the negotiation point), 0 afterwards.
+	Proto int `json:"proto,omitempty"`
+	// Servers is the backend server count; Draining of them are out of
+	// placement rotation.
+	Servers  int `json:"servers"`
+	Draining int `json:"draining,omitempty"`
+	// LiveSessions counts connected streaming sessions; Pending counts
+	// arrivals waiting for a server; Placements and Completed are monotonic.
+	LiveSessions int `json:"live_sessions"`
+	Pending      int `json:"pending"`
+	Placements   int `json:"placements"`
+	Completed    int `json:"completed"`
+	// Headroom is the predicted free fraction of fleet capacity over the
+	// scheduler's forecast horizon, in [0,1] (1 = idle).
+	Headroom float64 `json:"headroom"`
+	// UtilPct is the current mean of per-server worst-dimension utilization,
+	// in percent — the reactive complement to the forecast-backed Headroom.
+	UtilPct float64 `json:"util_pct"`
 }
 
 // wirebufPool recycles the per-connection binary codec buffers across
@@ -240,6 +289,17 @@ func (c *Conn) RecvInto(e *Envelope) error {
 // not recycle codec buffers — Release does, from the owning goroutine.
 func (c *Conn) Close() error { return c.c.Close() }
 
+// RelayTo copies raw bytes from this connection to dst until EOF or error,
+// starting with anything this side's reader has already buffered. After a
+// handshake is relayed message-by-message, two RelayTo calls (one per
+// direction) turn a proxy into a framing-agnostic byte pipe — the negotiated
+// session codec, JSON or binary, passes through untouched. It returns the
+// bytes copied and the first error (io.EOF is reported as nil, as io.Copy
+// does).
+func (c *Conn) RelayTo(dst *Conn) (int64, error) {
+	return io.Copy(dst.c, c.r)
+}
+
 // Release returns the connection's codec buffers to the shared pool. Only
 // the goroutine that owns both directions may call it, after the last Send
 // and Recv have returned; the Conn must not be used afterwards.
@@ -270,6 +330,10 @@ func (e *Envelope) validate() error {
 		ok = e.Frames != nil
 	case MsgEnd:
 		ok = e.End != nil
+	case MsgSummaryReq:
+		ok = e.SummaryReq != nil
+	case MsgSummary:
+		ok = e.Summary != nil
 	default:
 		return fmt.Errorf("streaming: unknown message type %q", e.Type)
 	}

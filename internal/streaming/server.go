@@ -69,6 +69,12 @@ type Server struct {
 
 	reg registry
 
+	// summaryMu guards the set of open summary-feed connections (coordinator
+	// health/load probes) so Close can force them down; they are not sessions
+	// and never enter the registry.
+	summaryMu    sync.Mutex
+	summaryConns map[*Conn]struct{}
+
 	done chan struct{}
 	wg   sync.WaitGroup
 
@@ -76,6 +82,7 @@ type Server struct {
 	framesSent      atomic.Uint64
 	framesCoalesced atomic.Uint64
 	framesDropped   atomic.Uint64
+	summariesServed atomic.Uint64
 	protoSessions   [maxKnownProto + 1]atomic.Uint64
 
 	// Tick-walk reusables: the snapshot buffer and the hoisted chunk body
@@ -156,11 +163,12 @@ func Serve(addr string, cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		cluster:  cfg.System.NewCluster(cfg.Servers, cfg.Policy),
-		ln:       ln,
-		nextSeed: cfg.SessionSeed,
-		done:     make(chan struct{}),
+		cfg:          cfg,
+		cluster:      cfg.System.NewCluster(cfg.Servers, cfg.Policy),
+		ln:           ln,
+		nextSeed:     cfg.SessionSeed,
+		summaryConns: make(map[*Conn]struct{}),
+		done:         make(chan struct{}),
 	}
 	s.tickBody = func(chunk, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -197,6 +205,13 @@ func (s *Server) Close() error {
 			_ = ls.conn.Close() // best-effort disconnect during teardown
 		}
 	})
+	// Summary feeds block in Recv between coordinator probes; closing the
+	// connection unblocks them so wg.Wait cannot hang on a quiet feed.
+	s.summaryMu.Lock()
+	for conn := range s.summaryConns {
+		_ = conn.Close() // best-effort disconnect during teardown
+	}
+	s.summaryMu.Unlock()
 	s.wg.Wait()
 	return err
 }
@@ -222,7 +237,15 @@ func (s *Server) acceptLoop() {
 // session's outbound queue.
 func (s *Server) handle(conn *Conn) {
 	env, err := conn.Recv()
-	if err != nil || env.Type != MsgHello {
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	if env.Type == MsgSummaryReq {
+		s.serveSummaryFeed(conn, env.SummaryReq)
+		return
+	}
+	if env.Type != MsgHello {
 		_ = conn.Close()
 		return
 	}
@@ -444,6 +467,92 @@ func (s *Server) emitSession(ls *liveSession) {
 		s.framesDropped.Add(1)
 	}
 	putFramesEnv(displaced)
+}
+
+// serveSummaryFeed runs one coordinator load/health feed: the first
+// MsgSummaryReq negotiates the protocol (exactly like Hello/Accept, the
+// request and its reply travel as JSON and everything after switches to the
+// negotiated framing), then each further MsgSummaryReq is answered with a
+// fresh ClusterSummary. The feed ends when the peer disconnects or the
+// server closes.
+func (s *Server) serveSummaryFeed(conn *Conn, req *SummaryReq) {
+	s.summaryMu.Lock()
+	s.summaryConns[conn] = struct{}{}
+	s.summaryMu.Unlock()
+	defer func() {
+		s.summaryMu.Lock()
+		delete(s.summaryConns, conn)
+		s.summaryMu.Unlock()
+		_ = conn.Close()
+		conn.Release()
+	}()
+
+	proto := NegotiateProto(req.Proto, s.cfg.MaxProto)
+	first := s.LoadSummary()
+	first.Proto = proto
+	if conn.Send(&Envelope{Type: MsgSummary, Summary: &first}) != nil {
+		return
+	}
+	conn.SetProto(proto)
+	s.summariesServed.Add(1)
+
+	var env Envelope
+	for {
+		if err := conn.RecvInto(&env); err != nil || env.Type != MsgSummaryReq {
+			return
+		}
+		sum := s.LoadSummary()
+		if conn.Send(&Envelope{Type: MsgSummary, Summary: &sum}) != nil {
+			return
+		}
+		s.summariesServed.Add(1)
+	}
+}
+
+// LoadSummary snapshots the cluster's load under the cluster lock: the
+// per-cluster rollup the coordinator tier routes sessions on. Headroom comes
+// from the policy's forecast caches when it implements
+// platform.LoadSummarizer (the CoCG distributor's stamped per-server demand
+// timelines); for policies without forward-looking state it falls back to
+// 1 − mean worst-dimension utilization.
+func (s *Server) LoadSummary() ClusterSummary {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	sum := ClusterSummary{
+		Servers:      len(s.cluster.Servers),
+		LiveSessions: s.reg.len(),
+		Pending:      len(s.cluster.Pending),
+		Placements:   s.cluster.Placements,
+	}
+	var utilSum float64
+	for _, srv := range s.cluster.Servers {
+		if srv.Draining {
+			sum.Draining++
+		}
+		sum.Completed += len(srv.Records)
+		util := srv.Utilization()
+		worst := 0.0
+		for d := range util {
+			if util[d] > worst {
+				worst = util[d]
+			}
+		}
+		utilSum += worst
+	}
+	if n := len(s.cluster.Servers); n > 0 {
+		sum.UtilPct = utilSum / float64(n)
+	}
+	if ls, ok := s.cluster.Policy.(platform.LoadSummarizer); ok {
+		if head, ok := ls.ClusterLoad(s.cluster.Servers); ok {
+			sum.Headroom = head
+			return sum
+		}
+	}
+	sum.Headroom = 1 - sum.UtilPct/100
+	if sum.Headroom < 0 {
+		sum.Headroom = 0
+	}
+	return sum
 }
 
 // Sessions returns the number of currently connected sessions.

@@ -65,6 +65,8 @@ const (
 	tagInput
 	tagFrames
 	tagEnd
+	tagSummaryReq
+	tagSummary
 )
 
 var errWireTruncated = errors.New("streaming: truncated binary frame")
@@ -90,6 +92,7 @@ func (e *Envelope) AppendTo(buf []byte) ([]byte, error) {
 		buf = appendSvarint(buf, int64(e.Accept.Server))
 		buf = appendString(buf, e.Accept.Game)
 		buf = appendSvarint(buf, int64(e.Accept.Proto))
+		buf = appendString(buf, e.Accept.Cluster)
 	case MsgReject:
 		buf = append(buf, tagReject)
 		buf = appendString(buf, e.Reject.Reason)
@@ -130,6 +133,21 @@ func (e *Envelope) AppendTo(buf []byte) ([]byte, error) {
 		buf = appendFloat(buf, st.AvgFPS)
 		buf = appendFloat(buf, st.FPSRatio)
 		buf = appendFloat(buf, st.Degraded)
+	case MsgSummaryReq:
+		buf = append(buf, tagSummaryReq)
+		buf = appendSvarint(buf, int64(e.SummaryReq.Proto))
+	case MsgSummary:
+		sm := e.Summary
+		buf = append(buf, tagSummary)
+		buf = appendSvarint(buf, int64(sm.Proto))
+		buf = appendSvarint(buf, int64(sm.Servers))
+		buf = appendSvarint(buf, int64(sm.Draining))
+		buf = appendSvarint(buf, int64(sm.LiveSessions))
+		buf = appendSvarint(buf, int64(sm.Pending))
+		buf = appendSvarint(buf, int64(sm.Placements))
+		buf = appendSvarint(buf, int64(sm.Completed))
+		buf = appendFloat(buf, sm.Headroom)
+		buf = appendFloat(buf, sm.UtilPct)
 	default:
 		err = fmt.Errorf("streaming: cannot encode message type %q", e.Type)
 	}
@@ -179,6 +197,7 @@ func (e *Envelope) DecodeFrom(data []byte) error {
 		a.Server = int(r.svarint())
 		a.Game = r.str()
 		a.Proto = int(r.svarint())
+		a.Cluster = r.str()
 		if !r.done() {
 			return r.fail()
 		}
@@ -267,6 +286,36 @@ func (e *Envelope) DecodeFrom(data []byte) error {
 		}
 		e.setPayload(MsgEnd)
 		e.End = st
+	case tagSummaryReq:
+		sr := e.SummaryReq
+		if sr == nil {
+			sr = &SummaryReq{}
+		}
+		sr.Proto = int(r.svarint())
+		if !r.done() {
+			return r.fail()
+		}
+		e.setPayload(MsgSummaryReq)
+		e.SummaryReq = sr
+	case tagSummary:
+		sm := e.Summary
+		if sm == nil {
+			sm = &ClusterSummary{}
+		}
+		sm.Proto = int(r.svarint())
+		sm.Servers = int(r.svarint())
+		sm.Draining = int(r.svarint())
+		sm.LiveSessions = int(r.svarint())
+		sm.Pending = int(r.svarint())
+		sm.Placements = int(r.svarint())
+		sm.Completed = int(r.svarint())
+		sm.Headroom = r.float()
+		sm.UtilPct = r.float()
+		if !r.done() {
+			return r.fail()
+		}
+		e.setPayload(MsgSummary)
+		e.Summary = sm
 	default:
 		return fmt.Errorf("streaming: unknown binary message tag %d", data[0])
 	}
@@ -294,6 +343,12 @@ func (e *Envelope) setPayload(t MsgType) {
 	}
 	if t != MsgEnd {
 		e.End = nil
+	}
+	if t != MsgSummaryReq {
+		e.SummaryReq = nil
+	}
+	if t != MsgSummary {
+		e.Summary = nil
 	}
 }
 

@@ -14,7 +14,7 @@ import (
 func wireEnvelopes() []*Envelope {
 	return []*Envelope{
 		{Type: MsgHello, Hello: &Hello{Game: "Contra", Script: 2, Habit: -77, Proto: ProtoBinary}},
-		{Type: MsgAccept, Accept: &Accept{SessionID: 9, Server: 1, Game: "Genshin Impact", Proto: ProtoBinary}},
+		{Type: MsgAccept, Accept: &Accept{SessionID: 9, Server: 1, Game: "Genshin Impact", Proto: ProtoBinary, Cluster: "us-east"}},
 		{Type: MsgReject, Reject: &Reject{Reason: "no server can host this game right now"}},
 		{Type: MsgInput, Input: &InputBatch{SessionID: 9, Seq: 41, Events: 3, SentAtMS: 171234, Codes: []byte{7, 14, 21}}},
 		{Type: MsgFrames, Frames: &FrameBatch{
@@ -23,6 +23,11 @@ func wireEnvelopes() []*Envelope {
 			Frames: []FrameInfo{{SizeBytes: 40000, Key: true}, {SizeBytes: 10000}, {SizeBytes: 9999}},
 		}},
 		{Type: MsgEnd, End: &SessionStat{SessionID: 9, DurationSec: 900, AvgFPS: 58.2, FPSRatio: 0.97, Degraded: 0.01}},
+		{Type: MsgSummaryReq, SummaryReq: &SummaryReq{Proto: ProtoBinary}},
+		{Type: MsgSummary, Summary: &ClusterSummary{
+			Proto: ProtoBinary, Servers: 16, Draining: 2, LiveSessions: 41,
+			Pending: 3, Placements: 977, Completed: 936, Headroom: 0.375, UtilPct: 61.5,
+		}},
 	}
 }
 
