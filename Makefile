@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt lint docs-check bench bench-fleet bench-record bench-stream bench-coord
+.PHONY: all build test race fmt lint vuln docs-check bench bench-fleet bench-record bench-stream bench-coord
 
 all: build test
 
@@ -13,12 +13,26 @@ build:
 test:
 	$(GO) test ./...
 
-# lint runs go vet plus cocg-lint, the repo-specific determinism &
-# correctness analyzers (see docs/STATIC_ANALYSIS.md), plus the docs link
-# checker. It exits non-zero on any finding.
-lint: docs-check
-	$(GO) vet ./...
+# lint is the full static gate: the docs link/anchor checker, the vuln sweep
+# (explicit go vet passes + race soak), then cocg-lint — the repo-specific
+# determinism & correctness analyzers (see docs/STATIC_ANALYSIS.md),
+# including the //cocg:hot escape gate. It exits non-zero on any finding.
+lint: docs-check vuln
 	$(GO) run ./cmd/cocg-lint ./...
+
+# vuln is the concurrency/correctness sweep: go vet with every standard pass
+# explicitly enabled — listed out so a toolchain that re-scopes its default
+# set cannot silently shrink the gate — plus a race-detector soak over the
+# two goroutine-heavy serving tiers, run twice to shake out order-dependent
+# interleavings.
+vuln:
+	$(GO) vet -appends -asmdecl -assign -atomic -bools -buildtag -cgocall \
+		-composites -copylocks -defers -directive -errorsas -framepointer \
+		-httpresponse -ifaceassert -loopclosure -lostcancel -nilfunc -printf \
+		-shift -sigchanyzer -slog -stdmethods -stdversion -stringintconv \
+		-structtag -testinggoroutine -tests -timeformat -unmarshal \
+		-unreachable -unsafeptr -unusedresult ./...
+	$(GO) test -race -count=2 ./internal/streaming/... ./internal/coordinator/...
 
 # docs-check fails when any relative markdown link in README.md or docs/
 # points at a file that no longer exists — the docs must not drift from the

@@ -1,10 +1,11 @@
 // Command cocg-docscheck is the documentation link checker wired into `make
 // docs-check` (and through it `make lint`): it walks the repo's markdown —
 // README.md plus everything under docs/ by default — and fails when any
-// relative link points at a file that does not exist. External links
-// (http/https/mailto) and pure in-page anchors are out of scope; the tool
-// exists to catch the docs drifting from the tree, not to audit the
-// internet.
+// relative link points at a file that does not exist, or when a fragment
+// (in-page "#section" or cross-file "FILE.md#section") names a heading
+// anchor the target does not define. External links (http/https/mailto) are
+// out of scope; the tool exists to catch the docs drifting from the tree,
+// not to audit the internet.
 //
 // Usage:
 //
@@ -12,9 +13,11 @@
 //
 // Each path is a markdown file or a directory to walk for *.md files,
 // resolved under -root (default "."). Links starting with "/" resolve
-// against -root, everything else against the containing file's directory;
-// fragments ("#section") are stripped before the existence check. Exits 0
-// when every link resolves, 2 with a file:line listing otherwise.
+// against -root, everything else against the containing file's directory.
+// Anchors are computed GitHub-style: the heading lowercased, everything but
+// letters, digits, spaces, underscores and dashes stripped, spaces turned
+// into dashes, and duplicate headings suffixed -1, -2, ... in order. Exits 0
+// when every link and anchor resolves, 2 with a file:line listing otherwise.
 package main
 
 import (
@@ -86,6 +89,64 @@ func main() {
 	fmt.Printf("cocg-docscheck: %d links across %d markdown files all resolve\n", checked, len(files))
 }
 
+// anchorCache memoizes per-file heading anchors: the same target (this
+// file's own headings, or a hub doc linked from everywhere) is scanned once.
+var anchorCache = map[string]map[string]bool{}
+
+// anchorsFor computes the GitHub-style anchor set of a markdown file's
+// headings, including the -1/-2 suffixes GitHub appends to duplicates.
+func anchorsFor(file string) (map[string]bool, error) {
+	if a, ok := anchorCache[file]; ok {
+		return a, nil
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	anchors := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if !strings.HasPrefix(text, " ") {
+			continue // "#!/bin/sh"-style text, not a heading
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n := counts[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		counts[slug]++
+	}
+	anchorCache[file] = anchors
+	return anchors, nil
+}
+
+// slugify lowercases a heading and keeps letters, digits, underscores and
+// dashes, mapping spaces to dashes — the GitHub anchor algorithm for the
+// ASCII headings this repo uses.
+func slugify(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
 // checkFile scans one markdown file and reports its broken relative links.
 func checkFile(file, root string) (broken, checked int, err error) {
 	data, err := os.ReadFile(file)
@@ -106,22 +167,39 @@ func checkFile(file, root string) (broken, checked int, err error) {
 			target = strings.TrimSuffix(target, ">")
 			target = strings.TrimPrefix(target, "<")
 			if target == "" || strings.Contains(target, "://") ||
-				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				strings.HasPrefix(target, "mailto:") {
 				continue
 			}
+			frag := ""
 			if idx := strings.IndexByte(target, '#'); idx >= 0 {
-				target = target[:idx] // the existence check is per-file, not per-anchor
+				target, frag = target[:idx], target[idx+1:]
 			}
 			var resolved string
-			if strings.HasPrefix(target, "/") {
+			switch {
+			case target == "": // pure in-page anchor
+				resolved = file
+			case strings.HasPrefix(target, "/"):
 				resolved = filepath.Join(root, target)
-			} else {
+			default:
 				resolved = filepath.Join(filepath.Dir(file), target)
 			}
 			checked++
-			if _, statErr := os.Stat(resolved); statErr != nil {
-				fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (resolved %s)\n", file, i+1, m[1], resolved)
-				broken++
+			if target != "" {
+				if _, statErr := os.Stat(resolved); statErr != nil {
+					fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (resolved %s)\n", file, i+1, m[1], resolved)
+					broken++
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(resolved, ".md") {
+				anchors, anchErr := anchorsFor(resolved)
+				if anchErr != nil {
+					return 0, 0, anchErr
+				}
+				if !anchors[strings.ToLower(frag)] {
+					fmt.Fprintf(os.Stderr, "%s:%d: broken anchor %q (no heading in %s slugs to #%s)\n", file, i+1, m[1], resolved, frag)
+					broken++
+				}
 			}
 		}
 	}

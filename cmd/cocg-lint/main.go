@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ func main() {
 		list    = flag.Bool("list", false, "list available analyzers and exit")
 		quiet   = flag.Bool("q", false, "suppress the summary line on stderr")
 		relBase = flag.String("rel", "", "print file paths relative to this directory (default: current directory)")
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array of {file,line,col,analyzer,message}")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: cocg-lint [flags] [packages]\n\n")
@@ -59,18 +61,39 @@ func main() {
 		fatal(err)
 	}
 
+	// One escape-analysis compile feeds hotalloc across every package; on
+	// unchanged code cmd/go replays the cached compiler output, so this stays
+	// well inside the lint-gate time budget.
+	escapes, err := lint.LoadEscapes(loader.ModuleDir, pkgs)
+	if err != nil {
+		fatal(err)
+	}
+
 	base := *relBase
 	if base == "" {
 		base, _ = os.Getwd()
 	}
-	findings := lint.Run(pkgs, analyzers)
-	for _, f := range findings {
+	findings := lint.RunWith(pkgs, analyzers, lint.Options{Escapes: escapes})
+	for i := range findings {
 		if base != "" {
-			if rel, err := filepath.Rel(base, f.Pos.Filename); err == nil {
-				f.Pos.Filename = rel
+			if rel, err := filepath.Rel(base, findings[i].Pos.Filename); err == nil {
+				findings[i].Pos.Filename = rel
 			}
 		}
-		fmt.Println(f)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		if !*quiet {

@@ -105,12 +105,14 @@ func Rank(views []ClusterView, spec *gamesim.GameSpec, w RouteWeights, jobs int)
 // RankInto is Rank with caller-owned storage: order and scores are reset and
 // reused, so a hot routing path allocates nothing in steady state. After the
 // call *order holds the preference-ordered cluster IDs.
+//
+//cocg:hot
 func RankInto(views []ClusterView, spec *gamesim.GameSpec, w RouteWeights, jobs int, order *[]int, scores *[]float64) {
 	w = w.withDefaults()
 	sens := LatencySensitivity(spec)
 	n := len(views)
 	if cap(*scores) < n {
-		*scores = make([]float64, n)
+		*scores = make([]float64, n) //cocg:lint-ignore hotalloc grow path; fires once per fleet-size increase, steady state reuses the buffer
 	}
 	sl := (*scores)[:n]
 	if jobs <= 1 {
@@ -121,7 +123,7 @@ func RankInto(views []ClusterView, spec *gamesim.GameSpec, w RouteWeights, jobs 
 			sl[i] = v.Headroom - w.Latency*(v.LatencyMS/w.RefLatencyMS)*sens
 		}
 	} else {
-		parallel.ForChunksOf(jobs, n, routeChunk, func(chunk, lo, hi int) {
+		parallel.ForChunksOf(jobs, n, routeChunk, func(chunk, lo, hi int) { //cocg:lint-ignore hotalloc fan-out closure; only reached when jobs > 1, the serial hot path above stays allocation-free
 			for i := lo; i < hi; i++ {
 				v := &views[i]
 				sl[i] = v.Headroom - w.Latency*(v.LatencyMS/w.RefLatencyMS)*sens

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// AtomicMix flags mixed atomic/plain access to the same memory. A field that
+// is incremented with atomic.AddUint64 in one place and read with a plain
+// load in another has no happens-before edge between the two: the plain read
+// can tear, see a stale value forever, or be miscompiled. The streaming and
+// coordinator metrics counters are exactly this shape — every access must go
+// through sync/atomic (or the field must become an atomic.Int64-style type
+// whose plain value is unreachable).
+//
+// Identity is the types.Object of the field (or package-level variable)
+// whose address is passed to a sync/atomic function anywhere in the package;
+// every other read or write of that object is then reported.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "struct fields accessed both atomically (sync/atomic) and plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// First sweep: find every &x.f (or &v) handed to a sync/atomic function.
+	atomicSites := map[types.Object][]token.Pos{}
+	atomicArg := map[ast.Node]bool{} // the operand node inside &operand
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				return true
+			}
+			target := ast.Unparen(u.X)
+			if obj := addressedObj(pass, target); obj != nil {
+				atomicSites[obj] = append(atomicSites[obj], u.Pos())
+				atomicArg[target] = true
+			}
+			return true
+		})
+	}
+	if len(atomicSites) == 0 {
+		return
+	}
+	// Second sweep: every other touch of those objects is a plain access.
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if atomicArg[n] {
+				return false // the sanctioned atomic access itself
+			}
+			var obj types.Object
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				sel := pass.Info.Selections[x]
+				if sel == nil || sel.Kind() != types.FieldVal {
+					return true
+				}
+				obj = sel.Obj()
+			case *ast.Ident:
+				v, ok := pass.Info.Uses[x].(*types.Var)
+				if !ok || v.IsField() {
+					return true // fields report via their SelectorExpr
+				}
+				obj = v
+			default:
+				return true
+			}
+			if sites, ok := atomicSites[obj]; ok {
+				first := pass.Fset.Position(sites[0])
+				pass.Reportf(n.Pos(),
+					"%s is accessed atomically (e.g. %s:%d) but plainly here; mixed access has no happens-before edge — use sync/atomic everywhere or an atomic.Int64-style type",
+					obj.Name(), filepath.Base(first.Filename), first.Line)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether call invokes a package-level sync/atomic
+// function (AddInt64, LoadUint64, StoreInt32, SwapPointer, CompareAndSwap...).
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn := selectedFunc(pass, sel)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig != nil && sig.Recv() == nil // methods on atomic.Int64 etc. have no plain twin
+}
+
+// addressedObj resolves the operand of an & expression to the field or
+// variable object being addressed: x.f yields the field, a bare identifier
+// yields the variable.
+func addressedObj(pass *Pass, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel := pass.Info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak upgrades the raw-`go`-statement policy to a join check: every
+// goroutine spawned in an internal package must carry evidence that someone
+// waits for it — a sync.WaitGroup Done, a completion-channel close or send,
+// or a shutdown/context channel it receives from. PR 5 and PR 6 each caught
+// a goroutine that outlived Close with a hand-written leak test; this moves
+// the class to lint time.
+//
+// The check is presence-based, not path-sensitive: the spawned body (a func
+// literal, or a same-package function so `go s.acceptLoop()` resolves) must
+// contain at least one join token. A goroutine whose callee lives outside
+// the package cannot be verified and is reported too — wrap it in a local
+// closure that signals completion.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines in internal/ packages with no join (WaitGroup, done channel, or shutdown receive)",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	if _, ok := pass.InternalPath(); !ok {
+		return
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goBody(pass, g.Call)
+			if body == nil {
+				pass.Reportf(g.Pos(), "cannot verify that this goroutine is joined (callee is outside the package); spawn a local closure that calls wg.Done or closes a done channel")
+				return true
+			}
+			if !hasJoinToken(pass, body) {
+				pass.Reportf(g.Pos(), "goroutine is never joined: no WaitGroup.Done, completion-channel close/send, or shutdown-channel receive in its body — it can outlive Close")
+			}
+			return true
+		})
+	}
+}
+
+// goBody resolves the spawned call to the statement body the join evidence
+// must live in: the func literal itself, or the declaration of a
+// same-package function or method.
+func goBody(pass *Pass, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		return pkgFuncBody(pass, fun)
+	case *ast.SelectorExpr:
+		return pkgFuncBody(pass, fun.Sel)
+	}
+	return nil
+}
+
+// pkgFuncBody finds the body of the package function id names, or nil.
+func pkgFuncBody(pass *Pass, id *ast.Ident) *ast.BlockStmt {
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	if fn == nil || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.Info.Defs[fd.Name] == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasJoinToken reports whether body contains evidence of a join: a
+// WaitGroup.Done (or context.Context.Done) call, a close of or send on a
+// channel from the enclosing scope, or a receive (including range) from one.
+func hasJoinToken(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if fn := selectedFunc(pass, sel); fn != nil && fn.Name() == "Done" && fn.Pkg() != nil {
+					switch fn.Pkg().Path() {
+					case "sync", "context":
+						found = true
+						return false
+					}
+				}
+			}
+			if isBuiltin(pass, x.Fun, "close") && len(x.Args) == 1 && outerChan(pass, body, x.Args[0]) {
+				found = true
+				return false
+			}
+		case *ast.SendStmt:
+			if outerChan(pass, body, x.Chan) {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && outerChan(pass, body, x.X) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan && outerChan(pass, body, x.X) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// outerChan reports whether e is a channel that outlives the goroutine body:
+// a struct field, or a variable declared outside body (so closing/receiving
+// it is observable by the spawner). A channel created inside the goroutine
+// joins nothing.
+func outerChan(pass *Pass, body *ast.BlockStmt, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		// ctx.Done() and friends: a channel-returning call on an outer value.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			return outerChan(pass, body, sel.X)
+		}
+		return false
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		return true // fields and package vars live beyond the goroutine
+	case *ast.Ident:
+		obj := pass.Info.Uses[x]
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+	}
+	return false
+}

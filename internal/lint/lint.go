@@ -23,6 +23,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -51,6 +52,11 @@ func All() []*Analyzer {
 		WallTime,
 		DroppedErr,
 		RawGo,
+		LockOrder,
+		GoLeak,
+		PoolCheck,
+		AtomicMix,
+		HotAlloc,
 	}
 }
 
@@ -87,6 +93,18 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
+// MarshalJSON renders the finding as the flat CI-annotation schema
+// {file, line, col, analyzer, message} consumed by `cocg-lint -json`.
+func (f Finding) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}{f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message})
+}
+
 // A Pass carries one type-checked package through one analyzer.
 type Pass struct {
 	Analyzer *Analyzer
@@ -101,6 +119,10 @@ type Pass struct {
 	// Module is the module path ("cocg"); path-sensitive analyzers use it
 	// to recognise internal/ packages.
 	Module string
+
+	// Escapes is the compiler escape-analysis output consumed by hotalloc;
+	// nil when the driver did not supply any (hotalloc is then inert).
+	Escapes *EscapeData
 
 	findings *[]Finding
 }
@@ -131,9 +153,21 @@ func (p *Pass) IsTestFile(f *ast.File) bool {
 	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
 }
 
+// Options carries driver-level inputs shared by every pass.
+type Options struct {
+	// Escapes feeds hotalloc; build it once with LoadEscapes so one compile
+	// serves the whole analyzer set.
+	Escapes *EscapeData
+}
+
 // Run executes every analyzer over every package, applies //cocg:lint-ignore
 // suppressions, and returns the surviving findings sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return RunWith(pkgs, analyzers, Options{})
+}
+
+// RunWith is Run with explicit driver options.
+func RunWith(pkgs []*Package, analyzers []*Analyzer, opts Options) []Finding {
 	var all []Finding
 	for _, pkg := range pkgs {
 		var pkgFindings []Finding
@@ -146,6 +180,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				Info:     pkg.Info,
 				PkgPath:  pkg.Path,
 				Module:   pkg.Module,
+				Escapes:  opts.Escapes,
 				findings: &pkgFindings,
 			}
 			a.Run(pass)

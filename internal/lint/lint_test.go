@@ -1,8 +1,10 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/token"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -107,8 +109,13 @@ func collectWants(t *testing.T, pkg *Package) []*wantExpectation {
 // line, and every want must be consumed.
 func checkGolden(t *testing.T, pkg *Package, analyzers []*Analyzer) {
 	t.Helper()
+	checkGoldenWith(t, pkg, analyzers, Options{})
+}
+
+func checkGoldenWith(t *testing.T, pkg *Package, analyzers []*Analyzer, opts Options) {
+	t.Helper()
 	wants := collectWants(t, pkg)
-	findings := Run([]*Package{pkg}, analyzers)
+	findings := RunWith([]*Package{pkg}, analyzers, opts)
 	for _, f := range findings {
 		rendered := fmt.Sprintf("[%s] %s", f.Analyzer, f.Message)
 		ok := false
@@ -196,6 +203,165 @@ func TestIgnoreDirectives(t *testing.T) {
 	}
 }
 
+func TestLockOrderGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "lockorder", "cocg/internal/locklike"), []*Analyzer{LockOrder})
+}
+
+// TestLockOrderEdgeCases covers the held-set subtleties one golden package
+// each: deferred unlocks, TryLock guard forms, and lock methods bound as
+// values.
+func TestLockOrderEdgeCases(t *testing.T) {
+	for _, dir := range []string{"lockorder_defer", "lockorder_trylock", "lockorder_methodvalue"} {
+		checkGolden(t, loadTestdata(t, dir, "cocg/internal/"+dir), []*Analyzer{LockOrder})
+	}
+}
+
+func TestGoLeakGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "goleak", "cocg/internal/goleaklike"), []*Analyzer{GoLeak})
+}
+
+// TestGoLeakInternalOnly loads the same leaky code outside internal/ and
+// expects silence: front-ends own their goroutine hygiene.
+func TestGoLeakInternalOnly(t *testing.T) {
+	pkg := loadTestdata(t, "goleak", "cocg/cmd/tool")
+	if fs := Run([]*Package{pkg}, []*Analyzer{GoLeak}); len(fs) != 0 {
+		t.Errorf("unexpected findings outside internal/: %v", fs)
+	}
+}
+
+func TestPoolCheckGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "poolcheck", "cocg/internal/poollike"), []*Analyzer{PoolCheck})
+}
+
+func TestPoolCheckDeferGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "poolcheck_defer", "cocg/internal/pooldeferlike"), []*Analyzer{PoolCheck})
+}
+
+func TestAtomicMixGolden(t *testing.T) {
+	checkGolden(t, loadTestdata(t, "atomicmix", "cocg/internal/atomiclike"), []*Analyzer{AtomicMix})
+}
+
+// TestHotAllocGolden fabricates compiler escape output from the ESCAPE
+// markers in the golden file — the same file:line:col text `go build
+// -gcflags=-m` emits — and checks that diagnostics land only inside
+// //cocg:hot bodies.
+func TestHotAllocGolden(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "src", "hotalloc", "hot.go")
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	for i, line := range strings.Split(string(raw), "\n") {
+		_, rest, found := strings.Cut(line, "// ESCAPE:")
+		if !found {
+			continue
+		}
+		msg := rest
+		if j := strings.Index(msg, " -- want"); j >= 0 {
+			msg = msg[:j]
+		}
+		fmt.Fprintf(&out, "%s:%d:2: %s\n", goldenPath, i+1, strings.TrimSpace(msg))
+	}
+	if out.Len() == 0 {
+		t.Fatal("no ESCAPE markers in golden file")
+	}
+	data := &EscapeData{}
+	ParseEscapes(data, "", out.String())
+
+	pkg := loadTestdata(t, "hotalloc", "cocg/internal/hotlike")
+	checkGoldenWith(t, pkg, []*Analyzer{HotAlloc}, Options{Escapes: data})
+
+	// Without escape data the analyzer is inert, not wrong.
+	if fs := Run([]*Package{pkg}, []*Analyzer{HotAlloc}); len(fs) != 0 {
+		t.Errorf("hotalloc without escape data produced findings: %v", fs)
+	}
+}
+
+// TestHotAllocNegative is the gate's end-to-end proof: a scratch module with
+// an artificial escape inside a //cocg:hot function, compiled with the real
+// LoadEscapes pipeline, must fail the analyzer.
+func TestHotAllocNegative(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile("go.mod", "module hotneg\n\ngo 1.22\n")
+	writeFile("hot.go", `package hotneg
+
+var sink *[64]byte
+
+// Escapes claims to be allocation-free but leaks its stack frame.
+//
+//cocg:hot
+func Escapes() *[64]byte {
+	var b [64]byte
+	return &b
+}
+`)
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPackages("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	escapes, err := LoadEscapes(loader.ModuleDir, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := RunWith(pkgs, []*Analyzer{HotAlloc}, Options{Escapes: escapes})
+	if len(findings) == 0 {
+		t.Fatal("artificial escape in a //cocg:hot function produced no hotalloc finding")
+	}
+	for _, f := range findings {
+		if f.Analyzer != HotAlloc.Name || !strings.Contains(f.Message, "Escapes") {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+// TestFindingJSONSchema pins the machine-readable shape `cocg-lint -json`
+// emits for CI annotation: exactly file/line/col/analyzer/message.
+func TestFindingJSONSchema(t *testing.T) {
+	f := Finding{
+		Pos:      token.Position{Filename: "internal/x/x.go", Line: 3, Column: 7},
+		Analyzer: "maporder",
+		Message:  "append inside map iteration",
+	}
+	b, err := json.Marshal([]Finding{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("got %d elements, want 1", len(decoded))
+	}
+	got := decoded[0]
+	want := map[string]any{
+		"file":     "internal/x/x.go",
+		"line":     float64(3),
+		"col":      float64(7),
+		"analyzer": "maporder",
+		"message":  "append inside map iteration",
+	}
+	if len(got) != len(want) {
+		t.Errorf("schema has keys %v, want exactly file/line/col/analyzer/message", got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("field %q = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
 // TestByName covers the analyzer registry used by the -run flag.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
@@ -214,11 +380,16 @@ func TestByName(t *testing.T) {
 // TestRepoIsClean runs the full analyzer set over the whole module — the
 // same gate `make lint` enforces — so `go test` alone catches regressions.
 func TestRepoIsClean(t *testing.T) {
-	pkgs, err := sharedLoader(t).LoadPackages("./...")
+	l := sharedLoader(t)
+	pkgs, err := l.LoadPackages("./...")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range Run(pkgs, All()) {
+	escapes, err := LoadEscapes(l.ModuleDir, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range RunWith(pkgs, All(), Options{Escapes: escapes}) {
 		t.Errorf("finding in repo: %s", f)
 	}
 }

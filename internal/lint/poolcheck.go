@@ -1,0 +1,413 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// PoolCheck polices the three sync.Pool misuse patterns that turn the
+// allocation-free serving path into a correctness hazard:
+//
+//   - Put without reset: recycling a pointer-to-struct whose reference
+//     fields were not cleared or truncated keeps dead objects reachable and
+//     leaks state between sessions (the next Get sees a stale payload).
+//   - Use after Put: the envelope belongs to the pool the moment Put
+//     returns; a later read races whoever Get's it next.
+//   - Get escaping: a pooled object returned from the function or stored in
+//     a field/global outlives the scope that is responsible for Putting it
+//     back. (Deliberate borrow-until-Release patterns suppress this with an
+//     explicit //cocg:lint-ignore and a reason.)
+//
+// The analyzer understands the repo's accessor idiom: a function whose body
+// just returns pool.Get (getFramesEnv) is a getter — calls to it are Get
+// sites in the caller — and a function that Puts one of its parameters
+// (putFramesEnv) is a putter, so putFramesEnv(e) counts as Put(e).
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "sync.Pool misuse: Put without reset, use after Put, Get results escaping",
+	Run:  runPoolCheck,
+}
+
+func runPoolCheck(pass *Pass) {
+	pc := &poolChecker{pass: pass, getters: map[*types.Func]bool{}, putters: map[*types.Func]int{}}
+	pc.collectWrappers()
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pc.checkFunc(fd)
+		}
+	}
+}
+
+type poolChecker struct {
+	pass    *Pass
+	getters map[*types.Func]bool // body is `return pool.Get()...`
+	putters map[*types.Func]int  // param index the body Puts
+}
+
+// poolMethodCall decodes call as a sync.Pool Get/Put.
+func poolMethodCall(pass *Pass, call *ast.CallExpr) (method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	fn := selectedFunc(pass, sel)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	if fn.Name() != "Get" && fn.Name() != "Put" {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", false
+	}
+	if n := namedRecv(sig.Recv().Type()); n == nil || n.Obj().Name() != "Pool" {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// unwrapGet strips type assertions, slicing, parens and index expressions
+// and reports whether the core expression is a pool Get (directly or via a
+// getter function).
+func (pc *poolChecker) unwrapGet(e ast.Expr) (*ast.CallExpr, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.CallExpr:
+			if m, ok := poolMethodCall(pc.pass, x); ok && m == "Get" {
+				return x, true
+			}
+			if fn := calledPkgFunc(pc.pass, x); fn != nil && pc.getters[fn] {
+				return x, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// calledPkgFunc resolves a call to a function of this package, or nil.
+func calledPkgFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	if fn == nil || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// collectWrappers finds getter and putter wrappers so the analysis sees
+// through the repo's accessor idiom.
+func (pc *poolChecker) collectWrappers() {
+	for _, file := range pc.pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pc.pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			// Getter: a single-statement body returning pool.Get.
+			if len(fd.Body.List) == 1 {
+				if ret, ok := fd.Body.List[0].(*ast.ReturnStmt); ok && len(ret.Results) == 1 {
+					if _, isGet := pc.unwrapGet(ret.Results[0]); isGet {
+						pc.getters[fn] = true
+						continue
+					}
+				}
+			}
+			// Putter: the body Puts one of its parameters.
+			params := map[types.Object]int{}
+			if fd.Type.Params != nil {
+				i := 0
+				for _, field := range fd.Type.Params.List {
+					for _, name := range field.Names {
+						if obj := pc.pass.Info.Defs[name]; obj != nil {
+							params[obj] = i
+						}
+						i++
+					}
+				}
+			}
+			if len(params) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if m, isPool := poolMethodCall(pc.pass, call); !isPool || m != "Put" || len(call.Args) != 1 {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+					if idx, isParam := params[pc.pass.Info.Uses[id]]; isParam {
+						pc.putters[fn] = idx
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// poolEvent is one ordered fact about a pooled object inside a function.
+type poolEvent struct {
+	pos  token.Pos
+	kind int // 0 read, 1 write, 2 put
+	obj  types.Object
+	end  token.Pos // for puts: end of the Put call
+}
+
+// checkFunc runs the three checks over one function body.
+func (pc *poolChecker) checkFunc(fd *ast.FuncDecl) {
+	fn, _ := pc.pass.Info.Defs[fd.Name].(*types.Func)
+	isGetter := fn != nil && pc.getters[fn]
+
+	pooled := map[types.Object]bool{} // locals holding Get results
+	writes := map[*ast.Ident]bool{}   // idents in assignment-LHS position
+	var events []poolEvent
+
+	// First sweep: classify assignments, find Get sites and escapes.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					writes[id] = true
+				}
+				if i >= len(st.Rhs) {
+					continue
+				}
+				getCall, isGet := pc.unwrapGet(st.Rhs[i])
+				if !isGet {
+					continue
+				}
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+					obj := pc.pass.Info.Defs[id]
+					if obj == nil {
+						obj = pc.pass.Info.Uses[id]
+					}
+					if obj != nil && localTo(fd, obj) {
+						pooled[obj] = true
+						continue
+					}
+				}
+				pc.pass.Reportf(getCall.Pos(), "sync.Pool Get result is stored outside this function's locals; pooled objects must stay with the scope that Puts them back")
+			}
+		case *ast.ReturnStmt:
+			if isGetter {
+				return true
+			}
+			for _, r := range st.Results {
+				if _, isGet := pc.unwrapGet(r); isGet {
+					pc.pass.Reportf(r.Pos(), "sync.Pool Get result is returned; the caller has no handle on the pool to Put it back")
+					continue
+				}
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok {
+					if obj := pc.pass.Info.Uses[id]; obj != nil && pooled[obj] {
+						pc.pass.Reportf(r.Pos(), "pooled object %s is returned; the caller has no handle on the pool to Put it back", id.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Second sweep: ordered read/write/put events for use-after-Put.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			obj, deferred := pc.putArg(fd, x)
+			if obj == nil {
+				return true
+			}
+			pc.checkReset(fd, x, obj, deferred)
+			if !deferred {
+				events = append(events, poolEvent{pos: x.Pos(), kind: 2, obj: obj, end: x.End()})
+			}
+			return true
+		case *ast.Ident:
+			obj := pc.pass.Info.Uses[x]
+			if obj == nil {
+				return true
+			}
+			kind := 0
+			if writes[x] {
+				kind = 1
+			}
+			events = append(events, poolEvent{pos: x.Pos(), kind: kind, obj: obj})
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	active := map[types.Object]token.Pos{} // obj -> end of the Put that retired it
+	for _, ev := range events {
+		switch ev.kind {
+		case 2:
+			active[ev.obj] = ev.end
+		case 1:
+			delete(active, ev.obj) // rebound: a fresh value, valid again
+		case 0:
+			if end, retired := active[ev.obj]; retired && ev.pos > end {
+				pc.pass.Reportf(ev.pos, "pooled object %s is used after Put; it belongs to the pool (and any concurrent Get) the moment Put returns", ev.obj.Name())
+				delete(active, ev.obj) // one report per Put
+			}
+		}
+	}
+}
+
+// putArg decodes call as a Put of a plain identifier — directly or through a
+// putter wrapper — and reports whether the call sits under a defer (deferred
+// Puts run last, so use-after-Put does not apply).
+func (pc *poolChecker) putArg(fd *ast.FuncDecl, call *ast.CallExpr) (types.Object, bool) {
+	argIdx := -1
+	if m, isPool := poolMethodCall(pc.pass, call); isPool && m == "Put" {
+		argIdx = 0
+	} else if fn := calledPkgFunc(pc.pass, call); fn != nil {
+		if idx, isPutter := pc.putters[fn]; isPutter {
+			argIdx = idx
+		} else {
+			return nil, false
+		}
+	} else {
+		return nil, false
+	}
+	if argIdx >= len(call.Args) {
+		return nil, false
+	}
+	id, ok := ast.Unparen(call.Args[argIdx]).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pc.pass.Info.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	return obj, pc.underDefer(fd, call)
+}
+
+// underDefer reports whether call is the deferred call of a DeferStmt.
+func (pc *poolChecker) underDefer(fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && d.Call == call {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkReset enforces the reset-before-Put rule for pointer-to-struct
+// elements with reference fields: some assignment to a field of the object
+// must precede the Put (anywhere in the function for deferred Puts, which
+// run last).
+func (pc *poolChecker) checkReset(fd *ast.FuncDecl, call *ast.CallExpr, obj types.Object, deferred bool) {
+	// Only direct sync.Pool Puts are checked here; a putter wrapper is
+	// checked once at its own Put site.
+	if m, isPool := poolMethodCall(pc.pass, call); !isPool || m != "Put" {
+		return
+	}
+	if !needsReset(obj.Type()) {
+		return
+	}
+	reset := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if reset {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if !deferred && as.Pos() > call.Pos() {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if selectorRoot(pc.pass, lhs) == obj {
+				reset = true
+				return false
+			}
+		}
+		return true
+	})
+	if !reset {
+		pc.pass.Reportf(call.Pos(), "sync.Pool Put of %s without resetting its reference fields; stale pointers leak state (and memory) into the next Get", obj.Name())
+	}
+}
+
+// needsReset reports whether t is a pointer to a struct with at least one
+// reference-typed field (pointer, slice, map, chan, func, or interface).
+func needsReset(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	st, ok := p.Elem().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Type().Underlying().(type) {
+		case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+			return true
+		}
+	}
+	return false
+}
+
+// selectorRoot returns the object at the root of a selector chain
+// (x in x.f.g[i].h), or nil when the expression is not field-shaped.
+func selectorRoot(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			// A bare identifier is not a field write; require at least one
+			// selector hop by checking we descended.
+			return pass.Info.Uses[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// localTo reports whether obj is declared inside fd's body.
+func localTo(fd *ast.FuncDecl, obj types.Object) bool {
+	return obj.Pos() >= fd.Body.Pos() && obj.Pos() <= fd.Body.End()
+}

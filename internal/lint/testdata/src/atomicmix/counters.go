@@ -1,0 +1,45 @@
+// Package atomiclike exercises the mixed atomic/plain access analyzer: once
+// any access to a field or variable goes through sync/atomic, every plain
+// read or write of it is reported.
+package atomiclike
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	drops int64
+}
+
+// hits is only ever touched atomically: clean.
+func (c *counters) hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) loadHits() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// drops is written atomically but read plainly.
+func (c *counters) drop() {
+	atomic.AddInt64(&c.drops, 1)
+}
+
+func (c *counters) reportDrops() int64 {
+	return c.drops // want `\[atomicmix\] drops is accessed atomically`
+}
+
+// Package-level variables mix the same way.
+var total int64
+
+func bumpTotal() {
+	atomic.AddInt64(&total, 1)
+}
+
+func readTotal() int64 {
+	return total // want `\[atomicmix\] total is accessed atomically`
+}
+
+// Plain writes are as bad as plain reads.
+func resetTotal() {
+	total = 0 // want `\[atomicmix\] total is accessed atomically`
+}

@@ -1,0 +1,91 @@
+// Package goleaklike exercises the goroutine-join analyzer: every spawned
+// goroutine must carry a join token (WaitGroup.Done, completion-channel
+// close/send, or shutdown-channel receive) in its resolved body.
+package goleaklike
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// Joined by WaitGroup: clean.
+func (w *worker) spawnWG() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		work()
+	}()
+}
+
+// Joined by closing a completion channel from the enclosing scope: clean.
+func spawnDoneChan() chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		work()
+		close(ch)
+	}()
+	return ch
+}
+
+// Joined by sending on an outer channel: clean.
+func spawnSend(results chan int) {
+	go func() {
+		results <- 1
+	}()
+}
+
+// Joined by receiving from the shutdown channel: clean.
+func (w *worker) spawnShutdown() {
+	go func() {
+		<-w.done
+	}()
+}
+
+// Joined by observing a context: clean.
+func spawnCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Same-package method bodies are resolved and checked: clean.
+func (w *worker) spawnMethod() {
+	go w.loop()
+}
+
+func (w *worker) loop() {
+	for range w.done {
+	}
+}
+
+// No join evidence at all.
+func spawnLeak() {
+	go func() { // want `\[goleak\] goroutine is never joined`
+		work()
+	}()
+}
+
+// A channel created inside the goroutine joins nothing.
+func spawnInnerChan() {
+	go func() { // want `\[goleak\] goroutine is never joined`
+		ch := make(chan struct{})
+		<-ch
+	}()
+}
+
+// A resolved same-package callee with no token.
+func spawnNamedLeak() {
+	go work() // want `\[goleak\] goroutine is never joined`
+}
+
+func work() {}
+
+// A callee that cannot be resolved to a body in this package.
+func spawnExternal(f func()) {
+	go f() // want `\[goleak\] cannot verify that this goroutine is joined`
+}

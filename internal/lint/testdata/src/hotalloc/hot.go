@@ -1,0 +1,27 @@
+// Package hotlike exercises the escape-diagnostic gate: the lint test reads
+// the ESCAPE markers below and fabricates the corresponding compiler
+// diagnostics, mirroring what `go build -gcflags=-m` emits on the real tree.
+package hotlike
+
+var sink *int
+
+// Annotated hot function: the escape on the marked line is reported.
+//
+//cocg:hot
+func hotEscape() {
+	x := 42 // ESCAPE:moved to heap: x -- want `\[hotalloc\] heap escape in //cocg:hot function hotEscape: moved to heap: x`
+	sink = &x
+}
+
+// Unannotated function: the same escape shape is not the analyzer's business.
+func coldEscape() {
+	y := 7 // ESCAPE:moved to heap: y
+	sink = &y
+}
+
+// Annotated and allocation-free: no diagnostics land in this body.
+//
+//cocg:hot
+func hotClean(a, b int) int {
+	return a + b
+}

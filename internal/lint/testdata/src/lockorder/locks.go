@@ -1,0 +1,61 @@
+// Package lockorderlike exercises the lock-acquisition-graph analyzer: two
+// locks nested in opposite orders anywhere in the package form a cycle and
+// both edges are reported; consistent nesting is silent.
+package lockorderlike
+
+import "sync"
+
+var muA, muB, muC sync.Mutex
+
+func abFirst() {
+	muA.Lock()
+	muB.Lock() // want `\[lockorder\] lock order cycle: muB is acquired while muA is held`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baSecond() {
+	muB.Lock()
+	muA.Lock() // want `\[lockorder\] lock order cycle: muA is acquired while muB is held`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// Consistent order everywhere: muA strictly before muC. No finding.
+func acOne() {
+	muA.Lock()
+	muC.Lock()
+	muC.Unlock()
+	muA.Unlock()
+}
+
+func acTwo() {
+	muA.Lock()
+	muC.Lock()
+	muC.Unlock()
+	muA.Unlock()
+}
+
+// Field mutexes are classes shared across instances, and acquisitions made
+// by a same-package callee charge the caller's held set transitively.
+type shard struct{ mu sync.Mutex }
+
+type table struct{ mu sync.Mutex }
+
+func (s *shard) withTable(t *table) {
+	s.mu.Lock()
+	t.grab() // want `\[lockorder\] lock order cycle: table\.mu is acquired while shard\.mu is held`
+	s.mu.Unlock()
+}
+
+func (t *table) grab() {
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+func (t *table) withShard(s *shard) {
+	t.mu.Lock()
+	s.mu.Lock() // want `\[lockorder\] lock order cycle: shard\.mu is acquired while table\.mu is held`
+	s.mu.Unlock()
+	t.mu.Unlock()
+}

@@ -1,0 +1,31 @@
+// Package lockdeferlike pins the deferred-unlock semantics: defer mu.Unlock()
+// keeps the lock held to function end, so later acquisitions still record
+// edges; an eager unlock releases immediately.
+package lockdeferlike
+
+import "sync"
+
+var front, back sync.Mutex
+
+func deferHeld() {
+	front.Lock()
+	defer front.Unlock()
+	back.Lock() // want `\[lockorder\] lock order cycle: back is acquired while front is held`
+	back.Unlock()
+}
+
+func deferReverse() {
+	back.Lock()
+	defer back.Unlock()
+	front.Lock() // want `\[lockorder\] lock order cycle: front is acquired while back is held`
+	front.Unlock()
+}
+
+// Eager unlock: nothing is held when the second lock is taken, so the
+// opposite textual order records no edge and no finding.
+func eager() {
+	front.Lock()
+	front.Unlock()
+	back.Lock()
+	back.Unlock()
+}

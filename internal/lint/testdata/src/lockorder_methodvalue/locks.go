@@ -1,0 +1,32 @@
+// Package lockmvlike pins the method-value semantics: a lock method bound to
+// a variable (l := mu.Lock) acquires when invoked, not when bound.
+package lockmvlike
+
+import "sync"
+
+var mvA, mvB sync.Mutex
+
+func bound() {
+	l := mvA.Lock
+	u := mvA.Unlock
+	l()
+	mvB.Lock() // want `\[lockorder\] lock order cycle: mvB is acquired while mvA is held`
+	mvB.Unlock()
+	u()
+}
+
+func reverse() {
+	mvB.Lock()
+	mvA.Lock() // want `\[lockorder\] lock order cycle: mvA is acquired while mvB is held`
+	mvA.Unlock()
+	mvB.Unlock()
+}
+
+// Binding alone acquires nothing: taking the other lock afterwards records
+// no edge.
+func boundUnused() {
+	l := mvA.Lock
+	_ = l
+	mvB.Lock()
+	mvB.Unlock()
+}

@@ -1,0 +1,32 @@
+// Package locktrylike pins the TryLock semantics: the class is held only in
+// the branch the TryLock result guards — directly in the if condition, via a
+// bool variable, or negated (held in the else branch).
+package locktrylike
+
+import "sync"
+
+var big, small sync.Mutex
+
+func guarded() {
+	if big.TryLock() {
+		small.Lock() // want `\[lockorder\] lock order cycle: small is acquired while big is held`
+		small.Unlock()
+		big.Unlock()
+	}
+	// Outside the guarded branch nothing is held: no edge.
+	small.Lock()
+	small.Unlock()
+}
+
+func viaVarNegated() {
+	ok := small.TryLock()
+	if !ok {
+		// Acquisition failed: nothing held here.
+		big.Lock()
+		big.Unlock()
+	} else {
+		big.Lock() // want `\[lockorder\] lock order cycle: big is acquired while small is held`
+		big.Unlock()
+		small.Unlock()
+	}
+}

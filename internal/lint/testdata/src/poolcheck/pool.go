@@ -1,0 +1,88 @@
+// Package poollike exercises the sync.Pool analyzer: Put without reset,
+// use after Put, and Get results escaping the owning function — including
+// through the repo's getter/putter wrapper idiom.
+package poollike
+
+import "sync"
+
+type payload struct {
+	buf []byte
+	n   int
+}
+
+var pool = sync.Pool{New: func() any { return &payload{} }}
+
+// Reset before Put: clean.
+func resetThenPut() {
+	p := pool.Get().(*payload)
+	use(p.buf)
+	p.buf = p.buf[:0]
+	pool.Put(p)
+}
+
+// Put with no field reset keeps stale references reachable.
+func putNoReset() {
+	p := pool.Get().(*payload)
+	use(p.buf)
+	pool.Put(p) // want `\[poolcheck\] sync\.Pool Put of p without resetting its reference fields`
+}
+
+// Reading the object after Put races the next Get.
+func useAfterPut() int {
+	p := pool.Get().(*payload)
+	p.buf = p.buf[:0]
+	pool.Put(p)
+	return p.n // want `\[poolcheck\] pooled object p is used after Put`
+}
+
+// Rebinding the variable to a fresh value makes it valid again: clean.
+func rebindAfterPut() int {
+	p := pool.Get().(*payload)
+	p.buf = p.buf[:0]
+	pool.Put(p)
+	p = &payload{}
+	return p.n
+}
+
+// Returning a pooled object hands it to a caller with no pool handle.
+func escapeReturn() *payload {
+	p := pool.Get().(*payload)
+	p.n++
+	return p // want `\[poolcheck\] pooled object p is returned`
+}
+
+type holder struct{ p *payload }
+
+// Storing a Get result into a field outlives the owning scope.
+func (h *holder) escapeStore() {
+	h.p = pool.Get().(*payload) // want `\[poolcheck\] sync\.Pool Get result is stored outside this function's locals`
+}
+
+// getPayload is a recognised getter: its single-return-of-Get body is the
+// sanctioned borrow point, and calls to it count as Get sites in callers.
+func getPayload() *payload {
+	return pool.Get().(*payload)
+}
+
+// putPayload is a recognised putter: it resets and Puts its parameter, and
+// calls to it retire the argument in callers.
+func putPayload(p *payload) {
+	p.buf = p.buf[:0]
+	pool.Put(p)
+}
+
+// Wrapper round-trip: clean.
+func wrapperFlow() {
+	p := getPayload()
+	p.n++
+	putPayload(p)
+}
+
+// Use after a putter call is use after Put.
+func wrapperUseAfterPut() {
+	p := getPayload()
+	putPayload(p)
+	p.n = 0 // want `\[poolcheck\] pooled object p is used after Put`
+}
+
+func use([]byte) {}

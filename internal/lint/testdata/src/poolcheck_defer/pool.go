@@ -1,0 +1,27 @@
+// Package pooldeferlike pins the deferred-Put semantics: a Put in a defer
+// runs after every use in the body, so no use-after-Put applies, and a reset
+// anywhere in the function satisfies the reset rule.
+package pooldeferlike
+
+import "sync"
+
+type frame struct {
+	data []byte
+}
+
+var fpool = sync.Pool{New: func() any { return &frame{} }}
+
+// Deferred Put with a reset later in the body: clean.
+func deferredPut() int {
+	f := fpool.Get().(*frame)
+	defer fpool.Put(f)
+	f.data = f.data[:0]
+	return cap(f.data)
+}
+
+// Deferred Put with no reset anywhere still leaks stale references.
+func deferredPutNoReset() int {
+	f := fpool.Get().(*frame)
+	defer fpool.Put(f) // want `\[poolcheck\] sync\.Pool Put of f without resetting its reference fields`
+	return cap(f.data)
+}

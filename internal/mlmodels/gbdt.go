@@ -176,12 +176,14 @@ func (g *GBDT) Predict(x []float64) (int, error) {
 
 // PredictBatch implements BatchPredictor: one score buffer serves the whole
 // batch, so steady-state batch prediction does zero allocation.
+//
+//cocg:hot
 func (g *GBDT) PredictBatch(xs [][]float64, out []int) error {
 	if err := checkBatch(g.fitted, xs, out); err != nil {
 		return err
 	}
 	var buf [scratchClasses]float64
-	scores := scoreScratch(buf[:], g.nclass)
+	scores := scoreScratch(buf[:], g.nclass) //cocg:lint-ignore hotalloc grow path; the inlined make only runs when nclass exceeds the stack scratch
 	for i, x := range xs {
 		if len(x) != g.nfeat {
 			return ErrBadFeatureLen

@@ -301,6 +301,8 @@ func (c *CoCG) NewController(spec *gamesim.GameSpec, habit int64) (platform.Cont
 // game's whole footprint can fit inside a long game's low-consumption
 // window, the "distinguish game length" strategy of Section IV-C2 falls out
 // of the same test.
+//
+//cocg:hot
 func (c *CoCG) Admit(srv *platform.Server, spec *gamesim.GameSpec, habit int64) bool {
 	ok, _ := c.evaluate(srv, spec, &c.scratch)
 	return ok

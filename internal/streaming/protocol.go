@@ -215,10 +215,10 @@ func (c *Conn) SetProto(p int) {
 	c.proto = p
 	if p == ProtoBinary {
 		if c.wbuf == nil {
-			c.wbuf = wirebufPool.Get().([]byte)[:0]
+			c.wbuf = wirebufPool.Get().([]byte)[:0] //cocg:lint-ignore poolcheck connection-lifetime borrow; Conn.Release returns both buffers to the pool
 		}
 		if c.rbuf == nil {
-			c.rbuf = wirebufPool.Get().([]byte)[:0]
+			c.rbuf = wirebufPool.Get().([]byte)[:0] //cocg:lint-ignore poolcheck connection-lifetime borrow; Conn.Release returns both buffers to the pool
 		}
 	}
 }

@@ -396,6 +396,8 @@ func (s *Server) tickLoop() {
 // out over cfg.Jobs goroutines: snapshot the registry (reused buffer), walk
 // it in fixed chunks, emit one pooled frame batch per live session on frame
 // boundaries and an End for every finished session.
+//
+//cocg:hot
 func (s *Server) tickOnce() {
 	s.clusterMu.Lock()
 	defer s.clusterMu.Unlock()
@@ -417,6 +419,8 @@ func (s *Server) tickOnce() {
 // emitSession delivers one tick's worth of messages to one session: the End
 // with final statistics when the game finished, else (on frame boundaries)
 // one pooled frame batch, pushed under the queue's backpressure policy.
+//
+//cocg:hot
 func (s *Server) emitSession(ls *liveSession) {
 	if ls.ended {
 		return
@@ -424,7 +428,7 @@ func (s *Server) emitSession(ls *liveSession) {
 	sess := ls.hosted.Session
 	if sess.Done() {
 		ls.ended = true
-		displaced, _ := ls.out.push(&Envelope{Type: MsgEnd, End: &SessionStat{
+		displaced, _ := ls.out.push(&Envelope{Type: MsgEnd, End: &SessionStat{ //cocg:lint-ignore hotalloc once per session end, not per tick; the per-tick frame batches are pooled
 			SessionID:   ls.id,
 			DurationSec: int64(sess.Elapsed()),
 			AvgFPS:      sess.AvgFPS(),

@@ -75,6 +75,8 @@ var errWireTruncated = errors.New("streaming: truncated binary frame")
 // included) to buf and returns the extended slice. It never allocates when
 // buf has sufficient capacity, so hot paths can reuse one buffer per
 // connection across every send.
+//
+//cocg:hot
 func (e *Envelope) AppendTo(buf []byte) ([]byte, error) {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // length prefix, patched below
@@ -149,14 +151,14 @@ func (e *Envelope) AppendTo(buf []byte) ([]byte, error) {
 		buf = appendFloat(buf, sm.Headroom)
 		buf = appendFloat(buf, sm.UtilPct)
 	default:
-		err = fmt.Errorf("streaming: cannot encode message type %q", e.Type)
+		err = fmt.Errorf("streaming: cannot encode message type %q", e.Type) //cocg:lint-ignore hotalloc error path; boxing for %q only happens on an unencodable type
 	}
 	if err != nil {
 		return buf[:start], err
 	}
 	n := len(buf) - start - 4
 	if n > maxWireFrame {
-		return buf[:start], fmt.Errorf("streaming: frame of %d bytes exceeds wire limit", n)
+		return buf[:start], fmt.Errorf("streaming: frame of %d bytes exceeds wire limit", n) //cocg:lint-ignore hotalloc error path; boxing for %d only happens on an oversized frame
 	}
 	binary.LittleEndian.PutUint32(buf[start:], uint32(n))
 	return buf, nil
@@ -168,6 +170,8 @@ func (e *Envelope) AppendTo(buf []byte) ([]byte, error) {
 // pooled envelope decodes with zero allocations in steady state; payload
 // pointers of other message types are cleared. Corrupt input yields an
 // error, never a panic, and never a partially valid envelope.
+//
+//cocg:hot
 func (e *Envelope) DecodeFrom(data []byte) error {
 	if len(data) == 0 {
 		return errWireTruncated
@@ -177,7 +181,7 @@ func (e *Envelope) DecodeFrom(data []byte) error {
 	case tagHello:
 		h := e.Hello
 		if h == nil {
-			h = &Hello{}
+			h = &Hello{} //cocg:lint-ignore hotalloc first-decode payload; pooled envelopes reuse the attached struct in steady state
 		}
 		h.Game = r.str()
 		h.Script = int(r.svarint())
@@ -191,7 +195,7 @@ func (e *Envelope) DecodeFrom(data []byte) error {
 	case tagAccept:
 		a := e.Accept
 		if a == nil {
-			a = &Accept{}
+			a = &Accept{} //cocg:lint-ignore hotalloc first-decode payload; pooled envelopes reuse the attached struct in steady state
 		}
 		a.SessionID = r.svarint()
 		a.Server = int(r.svarint())
@@ -206,7 +210,7 @@ func (e *Envelope) DecodeFrom(data []byte) error {
 	case tagReject:
 		rej := e.Reject
 		if rej == nil {
-			rej = &Reject{}
+			rej = &Reject{} //cocg:lint-ignore hotalloc first-decode payload; pooled envelopes reuse the attached struct in steady state
 		}
 		rej.Reason = r.str()
 		if !r.done() {
@@ -217,7 +221,7 @@ func (e *Envelope) DecodeFrom(data []byte) error {
 	case tagInput:
 		in := e.Input
 		if in == nil {
-			in = &InputBatch{}
+			in = &InputBatch{} //cocg:lint-ignore hotalloc first-decode payload; pooled envelopes reuse the attached struct in steady state
 		}
 		in.SessionID = r.svarint()
 		in.Seq = r.svarint()
@@ -239,7 +243,7 @@ func (e *Envelope) DecodeFrom(data []byte) error {
 	case tagFrames:
 		f := e.Frames
 		if f == nil {
-			f = &FrameBatch{}
+			f = &FrameBatch{} //cocg:lint-ignore hotalloc first-decode payload; pooled envelopes reuse the attached struct in steady state
 		}
 		f.SessionID = r.svarint()
 		f.Seq = r.svarint()
@@ -274,7 +278,7 @@ func (e *Envelope) DecodeFrom(data []byte) error {
 	case tagEnd:
 		st := e.End
 		if st == nil {
-			st = &SessionStat{}
+			st = &SessionStat{} //cocg:lint-ignore hotalloc first-decode payload; pooled envelopes reuse the attached struct in steady state
 		}
 		st.SessionID = r.svarint()
 		st.DurationSec = r.svarint()
@@ -289,7 +293,7 @@ func (e *Envelope) DecodeFrom(data []byte) error {
 	case tagSummaryReq:
 		sr := e.SummaryReq
 		if sr == nil {
-			sr = &SummaryReq{}
+			sr = &SummaryReq{} //cocg:lint-ignore hotalloc first-decode payload; pooled envelopes reuse the attached struct in steady state
 		}
 		sr.Proto = int(r.svarint())
 		if !r.done() {
@@ -300,7 +304,7 @@ func (e *Envelope) DecodeFrom(data []byte) error {
 	case tagSummary:
 		sm := e.Summary
 		if sm == nil {
-			sm = &ClusterSummary{}
+			sm = &ClusterSummary{} //cocg:lint-ignore hotalloc first-decode payload; pooled envelopes reuse the attached struct in steady state
 		}
 		sm.Proto = int(r.svarint())
 		sm.Servers = int(r.svarint())
@@ -317,7 +321,7 @@ func (e *Envelope) DecodeFrom(data []byte) error {
 		e.setPayload(MsgSummary)
 		e.Summary = sm
 	default:
-		return fmt.Errorf("streaming: unknown binary message tag %d", data[0])
+		return fmt.Errorf("streaming: unknown binary message tag %d", data[0]) //cocg:lint-ignore hotalloc error path; boxing for %d only happens on a corrupt frame
 	}
 	return nil
 }
