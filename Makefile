@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt lint vuln docs-check bench bench-fleet bench-record bench-stream bench-coord
+.PHONY: all build test race fmt lint vuln docs-check bench bench-fleet bench-record bench-stream bench-coord bench-sim
 
 all: build test
 
@@ -98,3 +98,17 @@ COORD_BENCH_OUT ?= BENCH_PR6.json
 bench-coord: lint
 	$(GO) run ./cmd/cocg-bench -bench 'FleetRoute|ClusterLoad' \
 		-pkgs ./internal/... -out $(COORD_BENCH_OUT)
+
+# bench-sim runs the simulation-core benchmarks and records BENCH_PR8.json:
+# the legacy per-second cluster tick at 64 and 4096 sessions (the "before",
+# recorded first and embedded as the baseline), then the event-driven span
+# driver over the identical populations plus the 100k-session demonstration
+# run and the zero-alloc steady server tick. The headline number is the
+# sess-sec/s custom metric (session-seconds simulated per wall second).
+# Lint-gated like every recorded measurement.
+SIM_BENCH_OUT ?= BENCH_PR8.json
+bench-sim: lint
+	$(GO) run ./cmd/cocg-bench -bench 'SimTickLegacy' \
+		-pkgs ./internal/platform -out /tmp/cocg-sim-baseline.json
+	$(GO) run ./cmd/cocg-bench -bench 'SimTickLegacy|SimEvent|ServerTickSteady' \
+		-pkgs ./internal/platform -baseline /tmp/cocg-sim-baseline.json -out $(SIM_BENCH_OUT)

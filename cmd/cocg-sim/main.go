@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	cocg-sim [-servers N] [-hours H] [-rate R] [-policy cocg|vbp|gaugur|reactive] [-seed S] [-jobs J]
+//	cocg-sim [-servers N] [-hours H] [-rate R] [-policy cocg|vbp|gaugur|reactive]
+//	         [-seed S] [-jobs J] [-sessions N] [-engine legacy|event]
+//
+// -engine event pregenerates the arrival schedule and runs the event-driven
+// cluster driver (bit-identical outputs, far fewer executed ticks when the
+// policy certifies bulk windows); -sessions pre-submits N arrivals at t=0 for
+// large-population runs.
 package main
 
 import (
@@ -29,9 +35,16 @@ func main() {
 	rate := flag.Float64("rate", 0.02, "mean arrivals per simulated second")
 	policy := flag.String("policy", "cocg", "scheduling policy: cocg, vbp, gaugur, reactive, all")
 	seed := flag.Int64("seed", 1, "random seed")
-	jobs := flag.Int("jobs", 0, "placement-scan worker goroutines (<=1 serial; any value places identically)")
+	jobs := flag.Int("jobs", 0, "placement-scan and tick-fanout worker goroutines (<=1 serial; any value simulates identically)")
 	bundle := flag.String("bundle", "", "load a pre-trained system from this cocg-train bundle instead of training")
+	sessions := flag.Int("sessions", 0, "arrivals pre-submitted at t=0 (round-robin over the mix), on top of the stream")
+	engine := flag.String("engine", "legacy", "cluster driver: legacy (per-second loop) or event (bulk span advancement)")
 	flag.Parse()
+
+	if *engine != "legacy" && *engine != "event" {
+		fmt.Fprintf(os.Stderr, "cocg-sim: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
 
 	kinds := map[string]core.PolicyKind{
 		"cocg": core.PolicyCoCG, "vbp": core.PolicyVBP,
@@ -70,10 +83,18 @@ func main() {
 		c.Jobs = *jobs
 		gen := sys.Generator(*seed + 7)
 		stream := workload.NewMixStream(gen, gamesim.AllGames(), *rate, *seed+11)
+		mix := gamesim.AllGames()
+		for i := 0; i < *sessions; i++ {
+			c.Submit(gen.Next(mix[i%len(mix)]))
+		}
 		t0 := time.Now()
-		for i := simclock.Seconds(0); i < horizon; i++ {
-			stream.Feed(c)
-			c.Tick()
+		if *engine == "event" {
+			c.RunEvented(horizon, stream.Schedule(0, horizon))
+		} else {
+			for i := simclock.Seconds(0); i < horizon; i++ {
+				stream.Feed(c)
+				c.Tick()
+			}
 		}
 		recs := c.Records()
 		type agg struct {

@@ -35,7 +35,10 @@ type PairMatrixResult struct {
 // PairMatrix runs every unordered pair under CoCG.
 func PairMatrix(ctx *Context) (*PairMatrixResult, error) {
 	games := gamesim.AllGames()
-	horizon := ctx.horizon() / 2
+	// Pairings run the full experiment window: the heaviest pairs (Genshin,
+	// DMC) only complete sessions late, and a shorter window can close with
+	// zero finished records for them.
+	horizon := ctx.horizon()
 	ref := ctx.refDurations()
 	out := &PairMatrixResult{}
 	for i := 0; i < len(games); i++ {

@@ -1,0 +1,220 @@
+package gamesim
+
+import (
+	"math"
+
+	"cocg/internal/resources"
+)
+
+// Event-driven bulk advancement.
+//
+// A session whose grant covers its worst-case demand envelope has a provably
+// degenerate per-second step: satisfaction is exactly 1.0, frames render at
+// the spec's effective rate, and progress counters decrement by exactly 1.0.
+// StepBulk exploits that to advance many seconds with a handful of scalar
+// operations each, while remaining bitwise-identical to the same number of
+// Step calls — including the sequential-RNG draw order at loading, stage, and
+// spike events. The per-second demand jitter never needs to be evaluated on
+// the fast path because it is stateless (noise.go) and cannot change the
+// outcome once the envelope is covered.
+
+// spikeBoostBound is the componentwise supremum of the burst boost a spike
+// onset can apply (spikeAdvance draws boost < 30 and shapes it by these
+// weights).
+var spikeBoostBound = resources.New(30*0.8, 30, 30*0.5, 30*0.3)
+
+// DemandEnvelope returns a componentwise worst-case bound on every demand
+// vector the session can present from now until its next stage, segment, or
+// loading transition (spike onsets and ends are covered by the bound and do
+// not invalidate it). The bound is sound because demand jitter is hard-capped
+// at ±noiseBound standard deviations and float arithmetic is monotone.
+func (s *Session) DemandEnvelope() resources.Vector {
+	if s.phase == PhaseDone {
+		return resources.Zero
+	}
+	c := &s.Spec.Clusters[s.curCluster]
+	wc := c.Demand
+	if s.phase == PhaseExec && s.Spec.SpikeRate > 0 {
+		// A burst pushes demand up by at most spikeBoostBound; a dip drops to
+		// the loading cluster's level (which can exceed the execution base on
+		// CPU). An already-active spike may carry a target drawn in an earlier
+		// segment, so it is folded in explicitly.
+		burst := c.Demand.Add(spikeBoostBound).Clamp(0, 100)
+		wc = wc.Max(burst).Max(s.Spec.Clusters[LoadingCluster].Demand)
+		if s.spikeLeft > 0 {
+			wc = wc.Max(s.spikeTarget)
+		}
+	}
+	for d := range wc {
+		wc[d] += noiseBound * c.Jitter
+	}
+	return wc.Clamp(0, 100)
+}
+
+// WorstCaseDemand returns a componentwise bound on every demand vector any
+// session of this spec can ever present — DemandEnvelope maximized over all
+// clusters and spike states, with the spec's largest jitter. A controller
+// whose steady request dominates it keeps its session on the bulk fast path
+// in every phase.
+func (g *GameSpec) WorstCaseDemand() resources.Vector {
+	var wc resources.Vector
+	var maxJ float64
+	for ci := range g.Clusters {
+		c := &g.Clusters[ci]
+		v := c.Demand
+		if g.SpikeRate > 0 {
+			v = v.Add(spikeBoostBound).Clamp(0, 100)
+		}
+		wc = wc.Max(v)
+		if c.Jitter > maxJ {
+			maxJ = c.Jitter
+		}
+	}
+	for d := range wc {
+		wc[d] += noiseBound * maxJ
+	}
+	return wc.Clamp(0, 100)
+}
+
+// BulkHorizon returns how many upcoming full-supply seconds the current
+// DemandEnvelope is guaranteed to cover, including the second on which the
+// next transition fires. Zero means the session is done. The count is exact,
+// not approximate: under satisfaction 1.0 the remaining-work floats decrement
+// by exactly 1.0 per second (downward unit steps of a positive double are
+// exact), so the transition second is ceil() of the remaining work.
+func (s *Session) BulkHorizon() int {
+	switch s.phase {
+	case PhaseDone:
+		return 0
+	case PhaseLoading:
+		return ceilSeconds(s.loadLeft)
+	default:
+		rem := s.execRemaining
+		if s.segmentLeft < rem {
+			rem = s.segmentLeft
+		}
+		return ceilSeconds(rem)
+	}
+}
+
+// ceilSeconds converts remaining work into a whole-second event bound, at
+// least 1.
+func ceilSeconds(x float64) int {
+	n := int(math.Ceil(x))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// StepBulk advances the session by up to n seconds under the fixed grant,
+// bitwise-identical to calling Step(granted) n times. Seconds whose grant
+// covers the demand envelope run on an allocation-free fast path that skips
+// demand evaluation entirely; contended seconds (and any second the envelope
+// cannot certify) fall back to the full Step. Returns the seconds consumed,
+// which is n unless the session completes first.
+//
+//cocg:hot
+func (s *Session) StepBulk(granted resources.Vector, n int) int {
+	g := granted.ClampNonNegative()
+	consumed := 0
+	for consumed < n {
+		if s.phase == PhaseDone {
+			// Step on a done session is a no-op (it never touches the RNG),
+			// so the remaining seconds can be dropped outright.
+			break
+		}
+		if !s.envelopeCovered(g) {
+			s.Step(granted)
+			consumed++
+			continue
+		}
+		k := n - consumed
+		if h := s.BulkHorizon(); h < k {
+			k = h
+		}
+		consumed += s.fastRun(k)
+	}
+	return consumed
+}
+
+// envelopeCovered reports whether the (non-negative) grant dominates the
+// current demand envelope — the certificate that satisfaction will be exactly
+// 1.0 without looking at a single jitter draw.
+func (s *Session) envelopeCovered(g resources.Vector) bool {
+	wc := s.DemandEnvelope()
+	for d := range wc {
+		if g[d] < wc[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// fastRun advances up to k seconds of the sat == 1.0 specialization of Step,
+// stopping after the second that fires a stage, segment, or loading
+// transition (the envelope must be re-derived there). Returns the seconds
+// actually run. Callers must have certified the envelope for all k seconds.
+//
+//cocg:hot
+func (s *Session) fastRun(k int) int {
+	switch s.phase {
+	case PhaseLoading:
+		for i := 0; i < k; i++ {
+			s.elapsed++
+			s.loadSeconds++
+			// Step with cpuSat == 1.0: loadLeft -= 1.0 and loadExtended += 0,
+			// the latter a bitwise no-op on a non-negative accumulator.
+			s.loadLeft -= 1.0
+			s.lastFPS = 0
+			s.lastSat = 1
+			if s.loadLeft <= 0 {
+				s.finishLoading()
+				return i + 1
+			}
+		}
+		return k
+	case PhaseExec:
+		// With sat == 1.0 the frame rate is the spec's effective FPS exactly
+		// (x * 1.0 is bitwise x), so the histogram bucket and QoS predicates
+		// are loop invariants.
+		fps := s.Spec.EffectiveFPS()
+		bucket := int(fps / 4)
+		if bucket > fpsBuckets {
+			bucket = fpsBuckets
+		}
+		good := fps >= 30
+		spiky := s.Spec.SpikeRate > 0
+		for i := 0; i < k; i++ {
+			s.elapsed++
+			if spiky {
+				// Demand()'s spike bookkeeping, in draw order: onset decisions
+				// precede Step's spike-duration countdown.
+				s.spikeAdvance()
+			}
+			s.execSeconds++
+			if s.spikeLeft > 0 {
+				s.spikeLeft--
+			}
+			s.lastFPS = fps
+			s.lastSat = 1
+			s.fpsSum += fps
+			s.fpsHist[bucket]++
+			if good {
+				s.goodFPS++
+			}
+			s.execRemaining -= 1.0
+			s.segmentLeft -= 1.0
+			if s.execRemaining <= 0 {
+				s.enterNextLoading()
+				return i + 1
+			} else if s.segmentLeft <= 0 {
+				s.advanceSegment()
+				return i + 1
+			}
+		}
+		return k
+	default:
+		return k
+	}
+}

@@ -57,14 +57,19 @@ type Session struct {
 	ScriptIdx int
 	PlayerID  int64
 
-	rng     *rand.Rand
-	plan    []plannedStage
-	planIdx int // next plan entry to execute once the current loading ends
-	phase   Phase
+	rng *rand.Rand
+	// noiseSeed keys the stateless per-second demand jitter (see noise.go);
+	// it is drawn once from the sequential RNG at construction.
+	noiseSeed uint64
+	plan      []plannedStage
+	planIdx   int // next plan entry to execute once the current loading ends
+	phase     Phase
 
-	// Loading state: work is measured in full-supply seconds.
-	loadNeeded   float64
-	loadDone     float64
+	// Loading state: work is measured in full-supply seconds and counts down
+	// so the remaining-work float stays exact under full supply (subtracting
+	// 1.0 from a positive double is always exact; adding 1.0 toward a target
+	// is not), which is what makes loading-completion events predictable.
+	loadLeft     float64
 	shutdownLoad bool // true when the current loading is the final shutdown
 
 	// Execution state.
@@ -78,9 +83,13 @@ type Session struct {
 	// Transient event that is not a stage change (exercises the predictor's
 	// rehearsal callback): a burst pushes demand toward a hotter cluster's
 	// level, a dip briefly drops to loading-like demand (e.g. the player
-	// opens a menu).
-	spikeLeft   int
-	spikeTarget resources.Vector
+	// opens a menu). Onsets follow a geometric countdown over eligible
+	// execution seconds (drawn at construction and at each onset), so the
+	// next onset second is known in advance instead of being a fresh
+	// Bernoulli draw every second.
+	spikeLeft      int
+	spikeCountdown int
+	spikeTarget    resources.Vector
 
 	// Tick demand cache so Demand() and Step() agree within one tick.
 	demandValid bool
@@ -135,7 +144,11 @@ func NewPlayerSession(spec *GameSpec, scriptIdx int, habitSeed, sessionSeed int6
 	}
 	habit := rand.New(rand.NewSource(habitSeed))
 	s.plan = s.realizePlan(spec.Scripts[scriptIdx].Body, habit)
-	s.loadNeeded = s.drawLoad(1)
+	s.loadLeft = s.drawLoad(1)
+	s.noiseSeed = s.rng.Uint64()
+	if spec.SpikeRate > 0 {
+		s.spikeCountdown = s.drawSpikeGap()
+	}
 	s.curCluster = LoadingCluster
 	return s, nil
 }
@@ -246,14 +259,14 @@ func (s *Session) Demand() resources.Vector {
 		c := s.Spec.Clusters[s.curCluster]
 		base := c.Demand
 		if s.phase == PhaseExec {
-			s.maybeSpike()
+			s.spikeAdvance()
 			if s.spikeLeft > 0 {
 				base = s.spikeTarget
 			}
 		}
 		d = base
 		for dim := range d {
-			d[dim] += s.rng.NormFloat64() * c.Jitter
+			d[dim] += demandNoise(s.noiseSeed, int64(s.elapsed), dim) * c.Jitter
 		}
 		d = d.Clamp(0, 100)
 	}
@@ -262,17 +275,36 @@ func (s *Session) Demand() resources.Vector {
 	return d
 }
 
-// maybeSpike starts a short demand anomaly that is not a stage change: a
+// drawSpikeGap draws the number of eligible (non-spiking) execution seconds
+// before the next spike onset: geometric with the spec's per-second onset
+// rate, so the distribution of onsets matches a per-second Bernoulli draw
+// while the onset time itself is decided ahead of the seconds it spans.
+func (s *Session) drawSpikeGap() int {
+	p := s.Spec.SpikeRate
+	if p >= 1 {
+		return 0
+	}
+	k := math.Log1p(-s.rng.Float64()) / math.Log1p(-p)
+	if !(k < 1<<30) { // NaN/Inf guard for u ~ 1
+		return 1 << 30
+	}
+	return int(k)
+}
+
+// spikeAdvance starts a short demand anomaly that is not a stage change: a
 // burst toward a hotter cluster's consumption level (a sudden on-screen
 // event) or a dip to loading-like demand (the player idles in a menu). Both
 // can fool a naive detector into believing a stage switch — exactly the
 // misjudgments Fig. 9 (period three) and Fig. 10 (the three brief jumps)
-// show the rehearsal callback correcting.
-func (s *Session) maybeSpike() {
+// show the rehearsal callback correcting. Called once per execution-second
+// demand evaluation; each eligible second ticks the geometric onset countdown
+// down, and the onset itself draws the spike's shape plus the next countdown.
+func (s *Session) spikeAdvance() {
 	if s.spikeLeft > 0 || s.Spec.SpikeRate <= 0 {
 		return
 	}
-	if s.rng.Float64() >= s.Spec.SpikeRate {
+	if s.spikeCountdown > 0 {
+		s.spikeCountdown--
 		return
 	}
 	if s.rng.Float64() < 0.6 {
@@ -288,6 +320,7 @@ func (s *Session) maybeSpike() {
 		s.spikeLeft = 3 + s.rng.Intn(3)
 		s.spikeTarget = s.Spec.Clusters[LoadingCluster].Demand
 	}
+	s.spikeCountdown = s.drawSpikeGap()
 }
 
 // Step advances the session by one virtual second under the given grant.
@@ -313,10 +346,10 @@ func (s *Session) Step(granted resources.Vector) {
 			cpuSat = math.Min(1, granted[resources.CPU]/demand[resources.CPU])
 			cpuSat = math.Max(0, cpuSat)
 		}
-		s.loadDone += cpuSat
+		s.loadLeft -= cpuSat
 		s.loadExtended += 1 - cpuSat
 		s.lastFPS = 0
-		if s.loadDone >= s.loadNeeded {
+		if s.loadLeft <= 0 {
 			s.finishLoading()
 		}
 	case PhaseExec:
@@ -394,12 +427,11 @@ func (s *Session) enterNextLoading() {
 	s.phase = PhaseLoading
 	s.curCluster = LoadingCluster
 	s.spikeLeft = 0
-	s.loadDone = 0
 	if s.planIdx >= len(s.plan) {
 		s.shutdownLoad = true
-		s.loadNeeded = s.drawLoad(0.5)
+		s.loadLeft = s.drawLoad(0.5)
 	} else {
-		s.loadNeeded = s.drawLoad(1)
+		s.loadLeft = s.drawLoad(1)
 	}
 	s.lastFPS = 0
 }

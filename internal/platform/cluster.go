@@ -38,9 +38,11 @@ type Cluster struct {
 	StarveLimit simclock.Seconds
 
 	// Jobs bounds the goroutines pickServer fans the per-server scoring scan
-	// over. Values <= 1 scan serially; every value yields bit-identical
-	// placements, because the scan decomposes into fixed chunks and the
-	// argmax reduction walks score slots in server order.
+	// over, and — when the policy is a ConcurrentTicker — the per-server
+	// tick fan-out as well. Values <= 1 run serially; every value yields
+	// bit-identical results, because both scans decompose into fixed chunks
+	// over independent per-server state and every reduction walks server
+	// order serially.
 	Jobs int
 
 	// FailedPlacements counts arrivals that won a server but could not be
@@ -270,15 +272,15 @@ func (c *Cluster) tryPlace() {
 }
 
 // Tick advances the whole cluster by one virtual second; placement attempts
-// run on frame boundaries (the paper's 5-second decision cadence).
+// run on frame boundaries (the paper's 5-second decision cadence). Server
+// ticks fan out over Jobs goroutines when the policy is a ConcurrentTicker —
+// servers are independent within a tick — and the fan-out is bit-identical
+// to the serial scan at every worker count.
 func (c *Cluster) Tick() {
 	if simclock.IsFrameBoundary(c.Clock.Now()) {
 		c.tryPlace()
 	}
-	for _, srv := range c.Servers {
-		srv.Tick(c.Policy)
-	}
-	c.Clock.Tick()
+	c.TickSpan(1)
 }
 
 // Run advances the cluster for the given duration.
@@ -307,6 +309,15 @@ func (c *Cluster) Records() []Record {
 		out = append(out, srv.Records...)
 	}
 	return out
+}
+
+// SetSink installs a completed-session record sink on every server. The sink
+// must be safe for concurrent calls when Jobs > 1 and the policy ticks
+// concurrently.
+func (c *Cluster) SetSink(sink RecordSink) {
+	for _, srv := range c.Servers {
+		srv.Sink = sink
+	}
 }
 
 // RunningSessions counts sessions currently hosted anywhere.

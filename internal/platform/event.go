@@ -1,0 +1,187 @@
+package platform
+
+import (
+	"fmt"
+
+	"cocg/internal/parallel"
+	"cocg/internal/resources"
+	"cocg/internal/simclock"
+)
+
+// Event-driven cluster advancement.
+//
+// The legacy loop pays O(sessions) every virtual second even when nothing
+// happens. This driver advances between *stop points* — the simulation end,
+// the next placement frame while arrivals are queued, and each scheduled
+// arrival's submission second — and lets every server cross the span in
+// bulk. A server whose policy provably cannot intervene (NoopRegulator, all
+// controllers steady, requests covering every session's demand envelope
+// within capacity) advances each session with Session.StepBulk and runs one
+// real per-second tick at the window's last second; that closing tick
+// performs the full grant/regulate/sweep bookkeeping, which is what makes
+// the whole construction bitwise-identical to ticking every second (see
+// docs/PERFORMANCE.md for the certificate).
+
+// tickChunk is the granularity of the parallel per-server fan-out. Like the
+// placement scan, fixed chunks keep the work decomposition — and therefore
+// every per-server result — independent of the worker count.
+const tickChunk = 32
+
+// TickSpan advances every server by span seconds and moves the cluster
+// clock. Placement is not attempted inside the span: callers must choose
+// spans that stop at every frame boundary where pending arrivals could
+// place (RunEvented does).
+func (c *Cluster) TickSpan(span simclock.Seconds) {
+	if span <= 0 {
+		return
+	}
+	base := c.Clock.Now()
+	jobs := c.Jobs
+	ct, okCT := c.Policy.(ConcurrentTicker)
+	if jobs > 1 && okCT && ct.ConcurrentTickSafe() && len(c.Servers) > 1 {
+		parallel.ForChunksOf(jobs, len(c.Servers), tickChunk, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				c.Servers[i].advanceSpan(c.Policy, base, span)
+			}
+		})
+	} else {
+		for _, srv := range c.Servers {
+			srv.advanceSpan(c.Policy, base, span)
+		}
+	}
+	c.Clock.Advance(span)
+}
+
+// RunEvented advances the cluster for d seconds, feeding it the pregenerated
+// arrival schedule (ascending Submitted, e.g. from workload.MixStream's
+// Schedule). It reproduces the legacy Feed+Tick loop's outputs exactly —
+// Records, Placements, RejectedTicks, starvation blocking — while skipping
+// every second on which provably nothing can happen: placement is only
+// attempted on frame boundaries while arrivals are pending, which is the
+// only time the legacy loop's tryPlace does anything either.
+func (c *Cluster) RunEvented(d simclock.Seconds, schedule []Arrival) {
+	end := c.Clock.Now() + d
+	idx := 0
+	for now := c.Clock.Now(); now < end; now = c.Clock.Now() {
+		for idx < len(schedule) && schedule[idx].Submitted <= now {
+			if schedule[idx].Submitted < now {
+				panic(fmt.Sprintf("platform: arrival scheduled at %d reached at %d (schedule not ascending?)",
+					schedule[idx].Submitted, now))
+			}
+			c.Pending = append(c.Pending, schedule[idx])
+			idx++
+		}
+		if simclock.IsFrameBoundary(now) {
+			c.tryPlace()
+		}
+		// Next stop point: simulation end, the next placement boundary while
+		// anything is pending, or the next scheduled arrival.
+		stop := end
+		if len(c.Pending) > 0 {
+			if b := nextFrameBoundary(now); b < stop {
+				stop = b
+			}
+		}
+		if idx < len(schedule) && schedule[idx].Submitted < stop {
+			stop = schedule[idx].Submitted
+		}
+		c.TickSpan(stop - now)
+	}
+}
+
+// nextFrameBoundary returns the first frame boundary strictly after t.
+func nextFrameBoundary(t simclock.Seconds) simclock.Seconds {
+	return simclock.FrameStart(t) + simclock.FrameLen
+}
+
+// advanceSpan advances one server span seconds past base. Every second the
+// server cannot certify runs as a normal per-second tick; certified windows
+// advance all sessions StepBulk-fast through the window's first w-1 seconds
+// and close with one real tick, so grants, regulation, records and revision
+// bookkeeping happen exactly where the legacy loop would have produced
+// observable effects.
+func (s *Server) advanceSpan(p Policy, base, span simclock.Seconds) {
+	for off := simclock.Seconds(0); off < span; {
+		if len(s.Hosted) == 0 {
+			// An empty server's tick is a no-op; skip the rest of the span.
+			return
+		}
+		var w simclock.Seconds
+		if rem := span - off; rem >= 2 {
+			// Certification only pays for itself when a window of at least
+			// two seconds could result; a single-second remainder ticks
+			// directly.
+			w = simclock.Seconds(s.bulkWindow(p, int(rem)))
+		}
+		if w >= 2 {
+			steady := s.scratch.steady[:len(s.Hosted)]
+			for i, h := range s.Hosted {
+				h.Session.StepBulk(steady[i], int(w)-1)
+			}
+			s.tickAt(p, base+off+w-1)
+			off += w
+		} else {
+			s.tickAt(p, base+off)
+			off++
+		}
+	}
+}
+
+// bulkWindow returns the widest window (capped at maxSpan) the server can
+// certify for bulk advancement, or 0 when it must tick per-second. The
+// certificate, checked per window against the *current* session states:
+//
+//  1. the policy's Regulate is a pure no-op (NoopRegulator);
+//  2. every hosted controller is steady (SteadyRequester), so skipped Tick
+//     calls are unobservable and requests cannot change inside the window;
+//  3. each steady request covers its session's demand envelope, and the
+//     envelope sum fits capacity — then needs equal demands, the
+//     proportional scale is exactly 1, deficits are exactly zero, and every
+//     grant is bitwise the demand, i.e. satisfaction is exactly 1.0;
+//  4. the window never outruns a session's event horizon, so stage, segment
+//     and loading transitions land on the window's closing per-second tick.
+//
+// On success the hosted controllers' steady requests are left in
+// scratch.steady for the caller.
+func (s *Server) bulkWindow(p Policy, maxSpan int) int {
+	nr, ok := p.(NoopRegulator)
+	if !ok || !nr.RegulateIsNoop() {
+		return 0
+	}
+	if cap(s.scratch.steady) < len(s.Hosted) {
+		s.scratch.grow(len(s.Hosted))
+	}
+	steady := s.scratch.steady[:len(s.Hosted)]
+	w := maxSpan
+	var envTotal resources.Vector
+	for i, h := range s.Hosted {
+		sr, ok := h.Controller.(SteadyRequester)
+		if !ok {
+			return 0
+		}
+		req, ok := sr.SteadyRequest()
+		if !ok {
+			return 0
+		}
+		req = req.ClampNonNegative()
+		wc := h.Session.DemandEnvelope()
+		for d := range wc {
+			if req[d] < wc[d] {
+				return 0
+			}
+		}
+		envTotal = envTotal.Add(wc)
+		steady[i] = req
+		if hz := h.Session.BulkHorizon(); hz < w {
+			w = hz
+		}
+	}
+	// Envelope sum within capacity: float sums are monotone, so the real
+	// per-second demand totals cannot exceed it either.
+	for d := range envTotal {
+		if envTotal[d] > s.Capacity[d] {
+			return 0
+		}
+	}
+	return w
+}

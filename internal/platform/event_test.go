@@ -1,0 +1,291 @@
+package platform_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"cocg/internal/gamesim"
+	"cocg/internal/platform"
+	"cocg/internal/resources"
+	"cocg/internal/simclock"
+	"cocg/internal/workload"
+)
+
+// The golden equivalence suite: the event-driven cluster driver must
+// reproduce the legacy per-second Feed+Tick loop byte-for-byte — records,
+// placement counters, queue state — at every -jobs setting, both when the
+// bulk fast path engages (steady policy) and when every second falls back to
+// a real tick (adaptive policy).
+
+// flatSteadyCtl is a constant-request controller: eligible for bulk
+// advancement via SteadyRequest.
+type flatSteadyCtl struct{ req resources.Vector }
+
+func (f *flatSteadyCtl) Name() string                            { return "flat-steady" }
+func (f *flatSteadyCtl) Tick(resources.Vector) resources.Vector  { return f.req }
+func (f *flatSteadyCtl) Loading() bool                           { return false }
+func (f *flatSteadyCtl) SteadyRequest() (resources.Vector, bool) { return f.req, true }
+
+// adaptiveCtl tracks measured utilization, so it is deliberately NOT a
+// SteadyRequester: skipping its Tick calls would be observable.
+type adaptiveCtl struct{ req resources.Vector }
+
+func (a *adaptiveCtl) Name() string  { return "adaptive" }
+func (a *adaptiveCtl) Loading() bool { return false }
+func (a *adaptiveCtl) Tick(util resources.Vector) resources.Vector {
+	a.req = util.Scale(1.25).Add(resources.Uniform(6)).Clamp(0, 100)
+	return a.req
+}
+
+// countedPolicy exposes how many per-second server ticks actually executed —
+// Regulate runs exactly once per executed tick, so the counter proves the
+// bulk path engaged (or did not).
+type countedPolicy interface {
+	platform.Policy
+	ticks() int64
+}
+
+// steadyTestPolicy admits by worst-case demand sums and hands every session a
+// flat request covering its spec's WorstCaseDemand, so every hosted set it
+// builds certifies for bulk advancement in every phase.
+type steadyTestPolicy struct{ regulates atomic.Int64 }
+
+func (p *steadyTestPolicy) Name() string { return "steady-test" }
+func (p *steadyTestPolicy) Admit(srv *platform.Server, spec *gamesim.GameSpec, _ int64) bool {
+	tot := spec.WorstCaseDemand()
+	for _, h := range srv.Hosted {
+		tot = tot.Add(h.Spec.WorstCaseDemand())
+	}
+	for d := range tot {
+		if tot[d] > srv.Capacity[d] {
+			return false
+		}
+	}
+	return true
+}
+func (p *steadyTestPolicy) NewController(spec *gamesim.GameSpec, _ int64) (platform.Controller, error) {
+	return &flatSteadyCtl{req: spec.WorstCaseDemand()}, nil
+}
+func (p *steadyTestPolicy) Regulate(*platform.Server) { p.regulates.Add(1) }
+func (p *steadyTestPolicy) RegulateIsNoop() bool      { return true }
+func (p *steadyTestPolicy) ConcurrentTickSafe() bool  { return true }
+func (p *steadyTestPolicy) ticks() int64              { return p.regulates.Load() }
+
+// adaptiveTestPolicy pairs adapting controllers with a non-noop-marked
+// Regulate, so the event driver must run every single second.
+type adaptiveTestPolicy struct{ regulates atomic.Int64 }
+
+func (p *adaptiveTestPolicy) Name() string { return "adaptive-test" }
+func (p *adaptiveTestPolicy) Admit(srv *platform.Server, _ *gamesim.GameSpec, _ int64) bool {
+	return len(srv.Hosted) < 3
+}
+func (p *adaptiveTestPolicy) NewController(*gamesim.GameSpec, int64) (platform.Controller, error) {
+	return &adaptiveCtl{req: resources.FullServer}, nil
+}
+func (p *adaptiveTestPolicy) Regulate(*platform.Server) { p.regulates.Add(1) }
+func (p *adaptiveTestPolicy) ConcurrentTickSafe() bool  { return true }
+func (p *adaptiveTestPolicy) ticks() int64              { return p.regulates.Load() }
+
+const (
+	goldenServers = 16
+	goldenHorizon = simclock.Seconds(3000)
+	goldenRate    = 0.02
+)
+
+// goldenRun drives one cluster over the shared seed workload, either through
+// the legacy per-second loop or the event-driven driver.
+func goldenRun(pol countedPolicy, evented bool, jobs int) *platform.Cluster {
+	c := platform.NewCluster(goldenServers, pol)
+	c.Jobs = jobs
+	c.StarveLimit = 2 * simclock.Minute
+	gen := workload.NewGenerator(nil, 11)
+	stream := workload.NewMixStream(gen, gamesim.AllGames(), goldenRate, 23)
+	if evented {
+		c.RunEvented(goldenHorizon, stream.Schedule(0, goldenHorizon))
+	} else {
+		for i := simclock.Seconds(0); i < goldenHorizon; i++ {
+			stream.Feed(c)
+			c.Tick()
+		}
+	}
+	return c
+}
+
+// encodeRecords serializes records to bytes with exact float64 bit patterns,
+// so equality below means byte-for-byte identical outputs.
+func encodeRecords(recs []platform.Record) []byte {
+	var buf bytes.Buffer
+	for _, r := range recs {
+		buf.WriteString(r.Game)
+		buf.WriteByte(0)
+		for _, f := range []float64{
+			float64(r.Arrived), float64(r.Finished), float64(r.Elapsed),
+			float64(r.ExecSeconds), r.AvgFPS, r.FPSRatio, r.GoodFPSFrac,
+			r.Degraded, r.LoadStolen, r.P5FPS,
+		} {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+			buf.Write(b[:])
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestEventedMatchesLegacyGolden is the tentpole equivalence gate: the
+// event-driven driver and the parallel tick fan-out must reproduce the legacy
+// serial loop's outputs byte-for-byte at -jobs 1 and 8.
+func TestEventedMatchesLegacyGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() countedPolicy
+		bulk bool // the steady case must demonstrably skip seconds
+	}{
+		{"steady-bulk", func() countedPolicy { return &steadyTestPolicy{} }, true},
+		{"adaptive-fallback", func() countedPolicy { return &adaptiveTestPolicy{} }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			basePol := tc.mk()
+			base := goldenRun(basePol, false, 1)
+			baseRecs := base.Records()
+			if len(baseRecs) == 0 {
+				t.Fatal("seed workload completed no sessions; golden comparison would be vacuous")
+			}
+			baseBytes := encodeRecords(baseRecs)
+
+			variants := []struct {
+				name    string
+				evented bool
+				jobs    int
+			}{
+				{"legacy-jobs8", false, 8},
+				{"event-jobs1", true, 1},
+				{"event-jobs8", true, 8},
+			}
+			for _, v := range variants {
+				pol := tc.mk()
+				got := goldenRun(pol, v.evented, v.jobs)
+				if !bytes.Equal(encodeRecords(got.Records()), baseBytes) {
+					t.Errorf("%s: records diverge from legacy-jobs1 (%d vs %d records)",
+						v.name, len(got.Records()), len(baseRecs))
+				}
+				if got.Placements != base.Placements || got.RejectedTicks != base.RejectedTicks ||
+					got.FailedPlacements != base.FailedPlacements {
+					t.Errorf("%s: counters diverge: placements %d/%d rejected %d/%d failed %d/%d",
+						v.name, got.Placements, base.Placements,
+						got.RejectedTicks, base.RejectedTicks,
+						got.FailedPlacements, base.FailedPlacements)
+				}
+				if len(got.Pending) != len(base.Pending) || got.RunningSessions() != base.RunningSessions() {
+					t.Errorf("%s: queue state diverges: pending %d/%d running %d/%d",
+						v.name, len(got.Pending), len(base.Pending),
+						got.RunningSessions(), base.RunningSessions())
+				}
+				if got.Clock.Now() != base.Clock.Now() {
+					t.Errorf("%s: clock diverges: %d vs %d", v.name, got.Clock.Now(), base.Clock.Now())
+				}
+				if v.evented && tc.bulk && pol.ticks() >= basePol.ticks()*8/10 {
+					t.Errorf("%s: bulk path never engaged: %d executed ticks vs %d legacy",
+						v.name, pol.ticks(), basePol.ticks())
+				}
+				if v.evented && !tc.bulk && pol.ticks() != basePol.ticks() {
+					t.Errorf("%s: fallback should tick every second: %d vs %d",
+						v.name, pol.ticks(), basePol.ticks())
+				}
+			}
+		})
+	}
+}
+
+// TestRunningTotalsMatchRecompute checks the incrementally maintained
+// RequestTotal and Utilization stay bit-identical to the fold-in-hosted-order
+// recompute across admissions, regulated ticks, and completion sweeps.
+func TestRunningTotalsMatchRecompute(t *testing.T) {
+	pol := &adaptiveTestPolicy{}
+	c := platform.NewCluster(8, pol)
+	gen := workload.NewGenerator(nil, 5)
+	stream := workload.NewMixStream(gen, gamesim.AllGames(), 0.05, 9)
+	departures := 0
+	for i := 0; i < 2500; i++ {
+		stream.Feed(c)
+		c.Tick()
+		if i%37 != 0 {
+			continue
+		}
+		for _, srv := range c.Servers {
+			var req, util resources.Vector
+			for _, h := range srv.Hosted {
+				req = req.Add(h.Request)
+				util = util.Add(h.Granted)
+			}
+			if srv.RequestTotal() != req {
+				t.Fatalf("t=%d server %d: RequestTotal %v != fold %v", i, srv.ID, srv.RequestTotal(), req)
+			}
+			if srv.Utilization() != util {
+				t.Fatalf("t=%d server %d: Utilization %v != fold %v", i, srv.ID, srv.Utilization(), util)
+			}
+			departures += len(srv.Records)
+		}
+	}
+	if departures == 0 {
+		t.Fatal("no session ever completed; the post-sweep recompute was never exercised")
+	}
+}
+
+// TestStreamingSinksMatchSliceAggregation runs the identical workload once
+// retaining records and once streaming them into the incremental aggregators:
+// throughput must match bit-for-bit, the QoS summary up to float association,
+// and a sink-equipped server must retain nothing.
+func TestStreamingSinksMatchSliceAggregation(t *testing.T) {
+	run := func(sink platform.RecordSink) *platform.Cluster {
+		c := platform.NewCluster(goldenServers, &steadyTestPolicy{})
+		c.Jobs = 8
+		c.StarveLimit = 2 * simclock.Minute
+		if sink != nil {
+			c.SetSink(sink)
+		}
+		gen := workload.NewGenerator(nil, 11)
+		stream := workload.NewMixStream(gen, gamesim.AllGames(), goldenRate, 23)
+		c.RunEvented(goldenHorizon, stream.Schedule(0, goldenHorizon))
+		return c
+	}
+
+	recs := run(nil).Records()
+	if len(recs) == 0 {
+		t.Fatal("workload completed no sessions")
+	}
+
+	thr := &platform.ThroughputAgg{}
+	qos := &platform.QoSAgg{}
+	streamed := run(platform.TeeSink{thr, qos})
+	if got := streamed.Records(); len(got) != 0 {
+		t.Fatalf("sink-equipped cluster retained %d records", len(got))
+	}
+
+	if thr.Sessions() != len(recs) {
+		t.Fatalf("ThroughputAgg consumed %d sessions, slice run produced %d", thr.Sessions(), len(recs))
+	}
+	// One game pinned to a reference duration exercises the ref branch.
+	ref := map[string]float64{"Contra": 600}
+	for _, r := range []map[string]float64{nil, ref} {
+		if got, want := thr.Value(r), platform.Throughput(recs, r); got != want {
+			t.Errorf("ThroughputAgg.Value(%v) = %v, Throughput = %v (must be bitwise equal)", r, got, want)
+		}
+	}
+
+	want := platform.Summarize(recs)
+	got := qos.Result()
+	if got.Sessions != want.Sessions || got.ViolatedFrac != want.ViolatedFrac {
+		t.Errorf("QoSAgg sessions/violations %d/%v, Summarize %d/%v",
+			got.Sessions, got.ViolatedFrac, want.Sessions, want.ViolatedFrac)
+	}
+	const tol = 1e-12
+	if math.Abs(got.MeanFPSRatio-want.MeanFPSRatio) > tol ||
+		math.Abs(got.MeanGoodFPS-want.MeanGoodFPS) > tol ||
+		math.Abs(got.MeanDegraded-want.MeanDegraded) > tol {
+		t.Errorf("QoSAgg means diverge beyond association tolerance:\nagg:   %+v\nslice: %+v", got, want)
+	}
+}

@@ -1,0 +1,148 @@
+package platform
+
+import (
+	"sort"
+	"sync"
+)
+
+// Streaming record aggregators: RecordSink implementations that keep O(1)
+// state per completed session, so million-session runs never retain a
+// Records slice. Both are safe under the parallel tick fan-out.
+//
+// ThroughputAgg matches the slice-based Throughput bit-for-bit at any worker
+// count: its per-game sums add integer second counts, which float64 addition
+// represents exactly (below 2^53), so accumulation order cannot matter.
+// QoSAgg's float means are order-sensitive, so it buckets partial sums per
+// server and merges them in ascending server order — deterministic at every
+// -jobs value, and equal to Summarize up to float association.
+
+// ThroughputAgg accumulates Eq. 2 incrementally.
+type ThroughputAgg struct {
+	mu    sync.Mutex
+	count map[string]int
+	dur   map[string]float64
+}
+
+// ConsumeRecord implements RecordSink.
+func (a *ThroughputAgg) ConsumeRecord(_ int, r Record) {
+	a.mu.Lock()
+	if a.count == nil {
+		a.count = map[string]int{}
+		a.dur = map[string]float64{}
+	}
+	a.count[r.Game]++
+	a.dur[r.Game] += float64(r.Elapsed)
+	a.mu.Unlock()
+}
+
+// Sessions returns how many records were consumed.
+func (a *ThroughputAgg) Sessions() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, c := range a.count {
+		n += c
+	}
+	return n
+}
+
+// Value computes Eq. 2 over everything consumed so far, identically to
+// Throughput over the same records.
+func (a *ThroughputAgg) Value(ref map[string]float64) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	games := make([]string, 0, len(a.count))
+	for g := range a.count {
+		games = append(games, g)
+	}
+	sort.Strings(games)
+	var t float64
+	for _, g := range games {
+		n := a.count[g]
+		s := a.dur[g] / float64(n)
+		if refDur, ok := ref[g]; ok && refDur > 0 {
+			s = refDur
+		}
+		t += float64(n) * s
+	}
+	return t
+}
+
+// qosPartial is one server's record-order QoS accumulation.
+type qosPartial struct {
+	sessions int
+	fpsRatio float64
+	goodFPS  float64
+	degraded float64
+	violated int
+}
+
+// QoSAgg accumulates QoSSummary incrementally. Per-server partial sums keep
+// the result independent of the order servers tick in, so any -jobs value
+// produces the same summary.
+type QoSAgg struct {
+	mu      sync.Mutex
+	byServe map[int]*qosPartial
+}
+
+// ConsumeRecord implements RecordSink.
+func (a *QoSAgg) ConsumeRecord(serverID int, r Record) {
+	a.mu.Lock()
+	if a.byServe == nil {
+		a.byServe = map[int]*qosPartial{}
+	}
+	p := a.byServe[serverID]
+	if p == nil {
+		p = &qosPartial{}
+		a.byServe[serverID] = p
+	}
+	p.sessions++
+	p.fpsRatio += r.FPSRatio
+	p.goodFPS += r.GoodFPSFrac
+	p.degraded += r.Degraded
+	if r.Degraded > 0.05 {
+		p.violated++
+	}
+	a.mu.Unlock()
+}
+
+// Result merges the per-server partials in ascending server order and
+// returns the summary.
+func (a *QoSAgg) Result() QoSSummary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ids := make([]int, 0, len(a.byServe))
+	for id := range a.byServe {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out QoSSummary
+	viol := 0
+	for _, id := range ids {
+		p := a.byServe[id]
+		out.Sessions += p.sessions
+		out.MeanFPSRatio += p.fpsRatio
+		out.MeanGoodFPS += p.goodFPS
+		out.MeanDegraded += p.degraded
+		viol += p.violated
+	}
+	if out.Sessions == 0 {
+		return out
+	}
+	n := float64(out.Sessions)
+	out.MeanFPSRatio /= n
+	out.MeanGoodFPS /= n
+	out.MeanDegraded /= n
+	out.ViolatedFrac = float64(viol) / n
+	return out
+}
+
+// TeeSink fans each record out to several sinks.
+type TeeSink []RecordSink
+
+// ConsumeRecord implements RecordSink.
+func (t TeeSink) ConsumeRecord(serverID int, r Record) {
+	for _, s := range t {
+		s.ConsumeRecord(serverID, r)
+	}
+}

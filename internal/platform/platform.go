@@ -48,6 +48,18 @@ type ForecastRevisioner interface {
 	ForecastRev() uint64
 }
 
+// SteadyRequester is an optional Controller refinement: a controller whose
+// Tick is a constant function — it returns the same request vector every
+// second regardless of the observed utilization, and keeps no per-call state,
+// so skipping Tick calls is unobservable. SteadyRequest returns that vector
+// (ok=false when the controller is only conditionally steady). The bulk
+// advancement path uses it to prove a server's grants for a whole window
+// without ticking controllers second-by-second; a controller that ever
+// adapts to util must not implement it.
+type SteadyRequester interface {
+	SteadyRequest() (req resources.Vector, ok bool)
+}
+
 // Policy is a complete co-location scheduling scheme: admission (the
 // distributor), per-game control, and server-level regulation.
 type Policy interface {
@@ -61,6 +73,23 @@ type Policy interface {
 	// oversubscribe (e.g. extend loading stages). It runs once per second
 	// after all controllers ticked.
 	Regulate(srv *Server)
+}
+
+// NoopRegulator is an optional Policy refinement: a marker that Regulate
+// never observes or mutates anything (a pure no-op), so per-second Regulate
+// calls may be skipped entirely. Event-driven bulk advancement requires it —
+// a policy that regulates must see every second.
+type NoopRegulator interface {
+	RegulateIsNoop() bool
+}
+
+// ConcurrentTicker is an optional Policy refinement: a marker that the
+// policy's per-second methods (Regulate, plus any Controller state it
+// shares) touch only the server they are handed, never policy-global state,
+// so distinct servers may tick on distinct goroutines. Serial entry points
+// (Admit, Score, ClusterLoad) keep their existing single-caller contract.
+type ConcurrentTicker interface {
+	ConcurrentTickSafe() bool
 }
 
 // Hosted is one game session running on a server.
@@ -96,12 +125,24 @@ type Record struct {
 	P5FPS float64
 }
 
+// RecordSink consumes completed-session records as they happen. A server
+// with a sink streams records into it instead of retaining them in
+// Server.Records, keeping million-session runs at O(1) memory per
+// completion. Implementations must be safe for concurrent calls when the
+// cluster ticks servers in parallel.
+type RecordSink interface {
+	ConsumeRecord(serverID int, r Record)
+}
+
 // Server is one capacity-limited game server.
 type Server struct {
 	ID       int
 	Capacity resources.Vector
 	Hosted   []*Hosted
 	Records  []Record
+	// Sink, when non-nil, receives each completed session's record instead
+	// of Server.Records retaining it.
+	Sink RecordSink
 	// Draining marks a server being taken out of rotation: running sessions
 	// finish normally (cloud games cannot migrate — Section I), but the
 	// cluster places nothing new on it.
@@ -109,7 +150,20 @@ type Server struct {
 
 	clock  *simclock.Clock
 	nextID int
-	// peakUtil tracks the highest total grant observed, for reporting.
+	// scratch holds the per-tick working vectors, grown once to the hosted
+	// count and reused so a steady-state tick allocates nothing.
+	scratch tickScratch
+	// reqTotal and utilTotal are running copies of what RequestTotal and
+	// Utilization used to recompute O(hosted) on every scheduler probe. They
+	// are maintained to be bit-identical with the fold-in-hosted-order
+	// recompute: accumulated in the same order during the tick and re-derived
+	// from scratch whenever a sweep changes membership (an admission appends
+	// zero vectors, which cannot change either fold).
+	reqTotal  resources.Vector
+	utilTotal resources.Vector
+	// peakUtil tracks the highest total grant observed, for reporting. Under
+	// bulk advancement it is sampled only on the per-second ticks that
+	// actually run (see docs/PERFORMANCE.md).
 	peakUtil resources.Vector
 	// rev counts membership changes (admissions and departures). Together
 	// with the hosted controllers' ForecastRevs it stamps everything a
@@ -148,24 +202,60 @@ func (s *Server) Add(spec *gamesim.GameSpec, sess *gamesim.Session, ctl Controll
 func (s *Server) NumHosted() int { return len(s.Hosted) }
 
 // Utilization returns the sum of last grants — the server's current load.
-func (s *Server) Utilization() resources.Vector {
-	var u resources.Vector
-	for _, h := range s.Hosted {
-		u = u.Add(h.Granted)
-	}
-	return u
-}
+// The total is maintained incrementally but is bit-identical to summing
+// h.Granted over Hosted in order.
+func (s *Server) Utilization() resources.Vector { return s.utilTotal }
 
 // PeakUtilization returns the highest total grant seen so far.
 func (s *Server) PeakUtilization() resources.Vector { return s.peakUtil }
 
-// RequestTotal returns the sum of current controller requests.
-func (s *Server) RequestTotal() resources.Vector {
-	var u resources.Vector
+// RequestTotal returns the sum of current controller requests. The total is
+// maintained incrementally but is bit-identical to summing h.Request over
+// Hosted in order.
+func (s *Server) RequestTotal() resources.Vector { return s.reqTotal }
+
+// SyncTotals re-derives the running request/utilization totals from the
+// hosted list. The tick loop maintains them itself; callers that mutate
+// Hosted state directly (test harnesses crafting a scenario) must call this
+// before probing RequestTotal or Utilization.
+func (s *Server) SyncTotals() { s.recomputeTotals() }
+
+// recomputeTotals re-derives both running totals with the canonical
+// fold-in-hosted-order sums. Called after membership shrinks: a departed
+// session's contribution cannot be subtracted bitwise, so the fold restarts.
+func (s *Server) recomputeTotals() {
+	var req, util resources.Vector
 	for _, h := range s.Hosted {
-		u = u.Add(h.Request)
+		req = req.Add(h.Request)
+		util = util.Add(h.Granted)
 	}
-	return u
+	s.reqTotal, s.utilTotal = req, util
+}
+
+// tickScratch holds Server.Tick's per-hosted working vectors, grown once and
+// reused so steady-state ticks allocate nothing.
+type tickScratch struct {
+	demands  []resources.Vector
+	needs    []resources.Vector
+	grants   []resources.Vector
+	deficits []resources.Vector
+	// steady caches each hosted controller's steady request during bulk
+	// window certification (event.go).
+	steady []resources.Vector
+}
+
+// grow resizes every scratch slice to at least n entries. It runs only when
+// the hosted count exceeds every previous tick's (a cold membership event,
+// never steady state); noinline keeps its allocations from being attributed
+// into the //cocg:hot callers by inlining.
+//
+//go:noinline
+func (t *tickScratch) grow(n int) {
+	t.demands = make([]resources.Vector, n)
+	t.needs = make([]resources.Vector, n)
+	t.grants = make([]resources.Vector, n)
+	t.deficits = make([]resources.Vector, n)
+	t.steady = make([]resources.Vector, n)
 }
 
 // Tick advances the server by one virtual second under the given policy:
@@ -173,10 +263,24 @@ func (s *Server) RequestTotal() resources.Vector {
 // grants min(demand, request) — scaled down proportionally per dimension in
 // the (policy-failure) case where even the needs exceed capacity.
 func (s *Server) Tick(p Policy) {
-	if len(s.Hosted) == 0 {
+	s.tickAt(p, s.clock.Now())
+}
+
+// tickAt is Tick with an explicit timestamp: the event-driven driver runs
+// servers ahead of the shared cluster clock, so completion records must be
+// stamped with the virtual second being simulated rather than the clock.
+//
+//cocg:hot
+func (s *Server) tickAt(p Policy, now simclock.Seconds) {
+	n := len(s.Hosted)
+	if n == 0 {
 		return
 	}
-	demands := make([]resources.Vector, len(s.Hosted))
+	if cap(s.scratch.demands) < n {
+		s.scratch.grow(n)
+	}
+	demands := s.scratch.demands[:n]
+	var reqTotal, utilPrev resources.Vector
 	for i, h := range s.Hosted {
 		d := h.Session.Demand()
 		demands[i] = d
@@ -184,16 +288,26 @@ func (s *Server) Tick(p Policy) {
 		// throttled game cannot consume more than it was given.
 		util := d.Min(h.lastGrant)
 		h.Request = h.Controller.Tick(util).ClampNonNegative()
+		reqTotal = reqTotal.Add(h.Request)
+		utilPrev = utilPrev.Add(h.Granted)
 	}
+	// Publish the running totals the regulator may probe: requests are this
+	// second's, grants are still last second's — exactly what the fold-based
+	// recompute would return at this point.
+	s.reqTotal, s.utilTotal = reqTotal, utilPrev
 	p.Regulate(s)
 
-	// Effective needs under the (possibly regulated) requests.
-	needs := make([]resources.Vector, len(s.Hosted))
+	// Effective needs under the (possibly regulated) requests; the request
+	// total is re-derived because Regulate may have lowered requests.
+	needs := s.scratch.needs[:n]
 	var total resources.Vector
+	reqTotal = resources.Zero
 	for i, h := range s.Hosted {
 		needs[i] = demands[i].Min(h.Request)
 		total = total.Add(needs[i])
+		reqTotal = reqTotal.Add(h.Request)
 	}
+	s.reqTotal = reqTotal
 	// Per-dimension scale factor when needs exceed capacity.
 	var scale resources.Vector
 	for d := range scale {
@@ -203,7 +317,7 @@ func (s *Server) Tick(p Policy) {
 			scale[d] = 1
 		}
 	}
-	grants := make([]resources.Vector, len(s.Hosted))
+	grants := s.scratch.grants[:n]
 	var granted resources.Vector
 	for i := range s.Hosted {
 		g := needs[i]
@@ -221,8 +335,9 @@ func (s *Server) Tick(p Policy) {
 	// controllers (fixed partitions), which never receive spare capacity.
 	leftover := s.Capacity.Sub(granted).ClampNonNegative()
 	var deficitTotal resources.Vector
-	deficits := make([]resources.Vector, len(s.Hosted))
+	deficits := s.scratch.deficits[:n]
 	for i, h := range s.Hosted {
+		deficits[i] = resources.Zero
 		if hc, ok := h.Controller.(HardCapper); ok && hc.HardCapped() {
 			continue
 		}
@@ -251,32 +366,49 @@ func (s *Server) Tick(p Policy) {
 		h.Session.Step(g)
 	}
 	s.peakUtil = s.peakUtil.Max(granted)
+	s.utilTotal = granted
 
 	// Sweep completed sessions into records.
 	remaining := s.Hosted[:0]
 	for _, h := range s.Hosted {
 		if h.Session.Done() {
-			s.Records = append(s.Records, Record{
-				Game:        h.Spec.Name,
-				Arrived:     h.Arrived,
-				Finished:    s.clock.Now(),
-				Elapsed:     h.Session.Elapsed(),
-				ExecSeconds: h.Session.ExecSeconds(),
-				AvgFPS:      h.Session.AvgFPS(),
-				FPSRatio:    h.Session.FPSRatio(),
-				GoodFPSFrac: h.Session.GoodFPSFraction(),
-				Degraded:    h.Session.DegradedFraction(),
-				LoadStolen:  h.Session.LoadExtended(),
-				P5FPS:       h.Session.FPSPercentile(5),
-			})
+			s.emitRecord(h, now)
 		} else {
 			remaining = append(remaining, h)
 		}
 	}
 	if len(remaining) != len(s.Hosted) {
 		s.rev++
+		s.Hosted = remaining
+		// A departed grant cannot be subtracted bitwise; restart the folds.
+		s.recomputeTotals()
+		return
 	}
 	s.Hosted = remaining
+}
+
+// emitRecord routes one completed session's record to the sink, or retains
+// it in Records when the server has no sink. Separate from tickAt so the
+// append's grow path stays out of the hot range.
+func (s *Server) emitRecord(h *Hosted, now simclock.Seconds) {
+	r := Record{
+		Game:        h.Spec.Name,
+		Arrived:     h.Arrived,
+		Finished:    now,
+		Elapsed:     h.Session.Elapsed(),
+		ExecSeconds: h.Session.ExecSeconds(),
+		AvgFPS:      h.Session.AvgFPS(),
+		FPSRatio:    h.Session.FPSRatio(),
+		GoodFPSFrac: h.Session.GoodFPSFraction(),
+		Degraded:    h.Session.DegradedFraction(),
+		LoadStolen:  h.Session.LoadExtended(),
+		P5FPS:       h.Session.FPSPercentile(5),
+	}
+	if s.Sink != nil {
+		s.Sink.ConsumeRecord(s.ID, r)
+		return
+	}
+	s.Records = append(s.Records, r)
 }
 
 // Throughput computes Eq. 2 over completed records: T = Σ N_i · S_i, with

@@ -525,6 +525,19 @@ func (c *CoCG) Regulate(srv *platform.Server) {
 	}
 }
 
+// ConcurrentTickSafe implements platform.ConcurrentTicker: within a tick,
+// Regulate and the per-session controllers touch only the server they are
+// handed (requests, hosted predictor state) — never the forecast caches,
+// which are read and refreshed only from the serial placement entry points
+// (Admit, Score, ClusterLoad, PreparePlacement). Distinct servers may
+// therefore tick on distinct goroutines.
+//
+// CoCG deliberately does not implement NoopRegulator — loading-steal
+// regulation must see every second — and its controllers adapt to measured
+// utilization, so the event-driven driver always ticks CoCG servers
+// per-second; only the parallel fan-out applies.
+func (c *CoCG) ConcurrentTickSafe() bool { return true }
+
 // PredictionLatencyFor reports the simulated prediction latency for a game's
 // active models (Fig. 12).
 func (c *CoCG) PredictionLatencyFor(game string) (simclock.Seconds, bool) {

@@ -149,6 +149,7 @@ func TestRegulatorStealsFromLoading(t *testing.T) {
 	}
 	exec := mk(false, resources.Uniform(70))
 	load := mk(true, resources.Uniform(50))
+	srv.SyncTotals() // requests were set directly, not by a tick
 
 	p.Regulate(srv)
 	if exec.Request != resources.Uniform(70) {
@@ -171,6 +172,7 @@ func TestRegulatorNoopUnderLimit(t *testing.T) {
 	sess, _ := gamesim.NewSession(spec, 0, 1)
 	h := srv.Add(spec, sess, &stubController{loading: true})
 	h.Request = resources.Uniform(20)
+	srv.SyncTotals()
 	p.Regulate(srv)
 	if h.Request != resources.Uniform(20) {
 		t.Errorf("regulator acted below the limit: %v", h.Request)

@@ -9,6 +9,7 @@ import (
 
 	"cocg/internal/gamesim"
 	"cocg/internal/platform"
+	"cocg/internal/simclock"
 )
 
 // Generator produces arrivals for a set of games with player-structured
@@ -99,12 +100,41 @@ func (m *MixStream) Feed(c *platform.Cluster) {
 	if len(m.Mix) == 0 {
 		return
 	}
+	for _, a := range m.second() {
+		c.Submit(a)
+	}
+}
+
+// second draws one second's arrivals, in the exact draw order Feed has
+// always used, without stamping Submitted.
+func (m *MixStream) second() []platform.Arrival {
 	n := int(m.Rate)
 	if m.rng.Float64() < m.Rate-float64(n) {
 		n++
 	}
+	out := make([]platform.Arrival, 0, n)
 	for i := 0; i < n; i++ {
 		spec := m.Mix[m.rng.Intn(len(m.Mix))]
-		c.Submit(m.Gen.Next(spec))
+		out = append(out, m.Gen.Next(spec))
 	}
+	return out
+}
+
+// Schedule pregenerates the next horizon seconds of the stream as a
+// Submitted-stamped, ascending arrival schedule for the event-driven cluster
+// driver. The draws are identical, in the same order, to calling Feed once
+// per second starting at time start — the same generator state yields the
+// same arrivals either way.
+func (m *MixStream) Schedule(start, horizon simclock.Seconds) []platform.Arrival {
+	if len(m.Mix) == 0 {
+		return nil
+	}
+	var out []platform.Arrival
+	for t := simclock.Seconds(0); t < horizon; t++ {
+		for _, a := range m.second() {
+			a.Submitted = start + t
+			out = append(out, a)
+		}
+	}
+	return out
 }
