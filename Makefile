@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt lint vuln docs-check bench bench-fleet bench-record bench-stream bench-coord bench-sim
+.PHONY: all build test race fmt lint vuln docs-check bench bench-fleet bench-record bench-stream bench-coord bench-sim bench-train
 
 all: build test
 
@@ -112,3 +112,20 @@ bench-sim: lint
 		-pkgs ./internal/platform -out /tmp/cocg-sim-baseline.json
 	$(GO) run ./cmd/cocg-bench -bench 'SimTickLegacy|SimEvent|ServerTickSteady' \
 		-pkgs ./internal/platform -baseline /tmp/cocg-sim-baseline.json -out $(SIM_BENCH_OUT)
+
+# bench-train runs the model-training benchmarks and records BENCH_PR9.json:
+# the legacy per-node-sorting Fit for DTC/RF/GBDT (the "before", recorded
+# first and embedded as the baseline), then the pre-sorted column-index
+# trainers over the identical 6000-transition corpus. The golden equivalence
+# suite (fit_test.go) proves both sides produce byte-identical models, so the
+# ns/op ratio is a pure same-output speedup. The legacy benchmarks run few
+# fixed iterations because one legacy GBDT fit takes ~10 s. Lint-gated like
+# every recorded measurement.
+TRAIN_BENCH_OUT ?= BENCH_PR9.json
+bench-train: lint
+	$(GO) test -count=1 ./internal/mlmodels  # equivalence suite must pass before the record
+	$(GO) run ./cmd/cocg-bench -bench '(DTC|RF|GBDT)FitLegacy' \
+		-pkgs ./internal/mlmodels -benchtime 3x -out /tmp/cocg-train-baseline.json
+	$(GO) run ./cmd/cocg-bench -bench '(DTC|RF|GBDT)Fit$$' \
+		-pkgs ./internal/mlmodels -benchtime 10x \
+		-baseline /tmp/cocg-train-baseline.json -out $(TRAIN_BENCH_OUT)

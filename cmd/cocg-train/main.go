@@ -6,26 +6,66 @@
 //
 // Usage:
 //
-//	cocg-train [-o system.cocg.gz] [-players N] [-sessions N] [-seed S] [game ...]
+//	cocg-train [-o system.cocg.gz] [-players N] [-sessions N] [-seed S]
+//	           [-jobs N] [-cpuprofile cpu.out] [-memprofile mem.out] [game ...]
+//
+// The trained bundle is a pure function of the corpus parameters and -seed:
+// -jobs only bounds the training goroutines (clustering, RF bagging, GBDT
+// rounds, tree feature scans) and never changes the result, so profiling runs
+// at -jobs 1 measure the same training the production pass performs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 	"time"
 
 	"cocg/internal/core"
 	"cocg/internal/gamesim"
 	"cocg/internal/persist"
+	"cocg/internal/profiling"
 )
+
+// defaultJobs resolves the -jobs default: the COCG_JOBS environment
+// variable when it parses as a positive integer, else the CPU count. An
+// explicit -jobs flag overrides both.
+func defaultJobs() int {
+	if s := os.Getenv("COCG_JOBS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+		fmt.Fprintf(os.Stderr, "cocg-train: ignoring invalid COCG_JOBS=%q\n", s)
+	}
+	return runtime.NumCPU()
+}
 
 func main() {
 	out := flag.String("o", "system.cocg.gz", "output bundle path")
 	players := flag.Int("players", 12, "players per game in the profiling corpus")
 	sessions := flag.Int("sessions", 4, "sessions per player")
 	seed := flag.Int64("seed", 1, "random seed")
+	jobs := flag.Int("jobs", defaultJobs(),
+		"max concurrent training workers; the trained bundle does not depend on it (flag beats COCG_JOBS env, which beats the CPU-count default)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, perr := profiling.Start(*cpuProfile, *memProfile)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, perr)
+		os.Exit(2)
+	}
+	// die stops the profilers (so partial profiles still flush) and exits.
+	die := func(code int, v any) {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		fmt.Fprintln(os.Stderr, v)
+		os.Exit(code)
+	}
 
 	specs := gamesim.AllGames()
 	if flag.NArg() > 0 {
@@ -33,22 +73,20 @@ func main() {
 		for _, name := range flag.Args() {
 			g, err := gamesim.GameByName(name)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				die(2, err)
 			}
 			specs = append(specs, g)
 		}
 	}
 
 	start := time.Now()
-	fmt.Printf("training %d games (%d players x %d sessions each)...\n",
-		len(specs), *players, *sessions)
+	fmt.Printf("training %d games (%d players x %d sessions each, %d workers)...\n",
+		len(specs), *players, *sessions, *jobs)
 	sys, err := core.Train(specs, core.TrainOptions{
-		Players: *players, SessionsPerPlayer: *sessions, Seed: *seed,
+		Players: *players, SessionsPerPlayer: *sessions, Seed: *seed, Workers: *jobs,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(1, err)
 	}
 	for _, game := range sys.Games() {
 		b, _ := sys.Bundle(game)
@@ -56,13 +94,15 @@ func main() {
 			game, b.Profile.NumStageTypes(), 100*b.OfflineAccuracy, len(b.HabitModels))
 	}
 	if err := persist.SaveFile(sys, *out); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		die(1, err)
 	}
 	info, err := os.Stat(*out)
 	if err != nil {
+		die(1, err)
+	}
+	fmt.Printf("wrote %s (%d KiB) in %v\n", *out, info.Size()/1024, time.Since(start).Round(time.Millisecond))
+	if err := stopProfiles(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s (%d KiB) in %v\n", *out, info.Size()/1024, time.Since(start).Round(time.Millisecond))
 }

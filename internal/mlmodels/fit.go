@@ -1,0 +1,880 @@
+package mlmodels
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+
+	"cocg/internal/parallel"
+)
+
+// Pre-sorted exact-greedy tree training (XGBoost's exact mode, sklearn's
+// presort splitter). The legacy builders in tree.go rebuild and re-sort a
+// (value, payload) slice for every candidate feature at every node —
+// O(features · n log n) sorting per node and fresh count/index slices
+// throughout. This file replaces that with a column index sorted ONCE per
+// Fit: per feature, a []int32 row order sorted by (value, row id). Nodes
+// then own a contiguous segment [lo, hi) of every feature's order array;
+// split scans are single linear passes with incremental Gini/MSE statistics,
+// and the chosen split is propagated by a stable in-place partition that
+// keeps both children contiguous and value-sorted — no re-sorting ever.
+//
+// All scratch lives in a reusable fitScratch arena (the PR 3 idiom), so
+// steady-state retraining — the online learner's recurring cost — allocates
+// only the result tree nodes. The scan kernels are annotated //cocg:hot and
+// gated by the hotalloc analyzer plus TestFitSteadyStateAllocationFree.
+//
+// Exactness contract: the new trainer must produce byte-identical
+// serialized models to the legacy builders (fitLegacy) at every Workers
+// value. The load-bearing facts, proven by the golden suite in fit_test.go:
+//
+//   - RNG: candidateFeatures consumes the node RNG identically (one
+//     rng.Shuffle iff 0 < FeatureSubset < NumFeatures) and nodes visit in
+//     the same DFS preorder (node, left subtree, right subtree), so the
+//     stream of draws is the same.
+//   - Classification: every split statistic is an integer class count over
+//     a value-tie run, so the legacy builder's unstable per-node sort and
+//     this file's (value, row id) order yield identical scores, thresholds,
+//     and argmins.
+//   - Regression: the MSE scan folds float targets in sorted order, so tie
+//     order IS observable. Both sides therefore share one defined total
+//     order — (value, then row position) — via the stable legacy sort (see
+//     mseVals in tree.go) and this file's column index.
+//   - Ties across candidates: per-feature minima merge in candidate order
+//     under strict <, which is exactly the legacy running argmin — earliest
+//     candidate (lowest feature index when all features are candidates)
+//     wins, and within a feature the earliest boundary wins.
+type colIndex struct {
+	n, nfeat, nclass int
+
+	vals   []float64 // column-major feature values: vals[f*n+r]
+	order  []int32   // per-feature row ids sorted by (value, row id)
+	labels []int32   // class labels by row
+}
+
+// build (re)indexes ds: column-major values, labels, and each feature's
+// sorted row order. Columns sort independently, so they fan out.
+func (ci *colIndex) build(ds *Dataset, workers int) {
+	n, nf := ds.Len(), ds.NumFeatures
+	ci.n, ci.nfeat, ci.nclass = n, nf, ds.NumClasses
+	ci.vals = growF64(ci.vals, n*nf)
+	ci.order = growI32(ci.order, n*nf)
+	ci.labels = growI32(ci.labels, n)
+	for r, s := range ds.Samples {
+		ci.labels[r] = int32(s.Label)
+		for f, v := range s.Features {
+			ci.vals[f*n+r] = v
+		}
+	}
+	parallel.For(workers, nf, func(f int) {
+		ord := ci.order[f*n : (f+1)*n]
+		for i := range ord {
+			ord[i] = int32(i)
+		}
+		// Sorted by (value, row id) — a strict total order, so every
+		// correct sort produces the same unique permutation and the
+		// generic pdqsort (inlined comparator, no interface calls) is
+		// free to replace a stable one.
+		col := ci.vals[f*n : (f+1)*n]
+		slices.SortFunc(ord, func(a, b int32) int {
+			va, vb := col[a], col[b]
+			if va != vb {
+				if va < vb {
+					return -1
+				}
+				return 1
+			}
+			return int(a) - int(b)
+		})
+	})
+}
+
+// splitCand is one candidate feature's best boundary. Beyond the score and
+// threshold the classification scan also records where the boundary sits —
+// bi (entry index in the feature's segment), wl (left-side weight), and nv
+// (the first right-side value) — so the winner's partition can reuse the
+// scan's work instead of re-comparing every row (see growClass).
+type splitCand struct {
+	score float64
+	thr   float64
+	nv    float64
+	bi    int
+	wl    int
+	ok    bool
+}
+
+// treeScratch is the per-goroutine arena one tree grows in. RF hands one to
+// each bagged-tree worker via fitScratch's free list; DTC and GBDT class
+// trees use one at a time.
+type treeScratch struct {
+	ci   *colIndex
+	jobs int // within-tree feature-scan fan-out; 1 = serial (the RF/GBDT mode)
+	m    int // rows in this tree's bag (distinct rows with weight > 0)
+
+	cur   []int32   // nfeat segments of m row ids, value-sorted per feature
+	rows  []int32   // the m bag rows in original (stable) row order
+	tmp   []int32   // bounce buffer for the stable partition
+	goesL []uint8   // by row id: 1 when the row goes left under the split
+	w     []int32   // by row id: bootstrap multiplicity in this bag
+	wlab  []int32   // by row id: weight<<16 | label — one load in the scan
+	tgt   []float64 // by row id: regression target (GBDT residuals)
+	feats []int     // candidate-feature buffer (candidateFeaturesInto)
+
+	ncnt, lcnt, rcnt []int // node / left / right class counts (len nclass)
+	snapA, snapB     []int // serial-scan boundary snapshots (see bestSplit)
+
+	// cntStk holds each depth's pending child class counts: a split node
+	// derives both children's counts from its own (left = the boundary
+	// snapshot, right = node minus left), so only the root ever tallies
+	// counts from rows. Layout: depth d's left block at d*2*nclass, right
+	// block at d*2*nclass+nclass.
+	cntStk []int
+
+	// oobFlat is a per-scratch flat-compile buffer: RF's out-of-bag pass
+	// walks each freshly grown tree for every held-out sample, and the
+	// contiguous arena walks ~2x faster than chasing heap tree nodes.
+	oobFlat []flatNode
+
+	// Feature-scan fan-out state. The body closure and the Shuffle swap are
+	// built once per scratch — a closure per node would put an allocation on
+	// the hottest training path — and read their arguments from the fields
+	// below; cands and cntBuf give every chunk a private result slot and
+	// count scratch.
+	scanBody  func(chunk, lo, hi int)
+	swapFeats func(i, j int)
+	cands     []splitCand
+	cntBuf    []int
+	scanFeats []int
+	scanLo    int
+	scanHi    int
+	scanTot   float64
+	scanReg   bool
+
+	regSum, regSum2 float64 // current node's target sums (regression)
+}
+
+// minParallelScanRows gates the within-tree feature-scan fan-out: below
+// this segment width the goroutine handoff costs more than the scan. The
+// guard only picks serial vs parallel execution of identical per-feature
+// scans, so it can never change the fitted tree.
+const minParallelScanRows = 512
+
+// ensure sizes the scratch for ci and binds the per-scratch closures.
+// maxDepth bounds the grow recursion (TreeConfig.MaxDepth after defaults)
+// and sizes the count stack.
+func (ts *treeScratch) ensure(ci *colIndex, jobs, maxDepth int) {
+	if jobs < 1 {
+		jobs = 1
+	}
+	ts.ci = ci
+	ts.jobs = jobs
+	n, nf, nc := ci.n, ci.nfeat, ci.nclass
+	// One slot of slack on cur and rows: beginBag's branchless compaction
+	// writes every source entry and advances the cursor only for in-bag
+	// rows, so trailing out-of-bag entries write (harmlessly) one past the
+	// compacted length.
+	ts.cur = growI32(ts.cur, n*nf+1)[:n*nf+1]
+	ts.rows = growI32(ts.rows, n+1)
+	ts.tmp = growI32(ts.tmp, n)
+	ts.goesL = growU8(ts.goesL, n)
+	ts.w = growI32(ts.w, n)
+	ts.wlab = growI32(ts.wlab, n)
+	ts.tgt = growF64(ts.tgt, n)
+	ts.feats = growInt(ts.feats, nf)
+	ts.ncnt = growInt(ts.ncnt, nc)
+	ts.lcnt = growInt(ts.lcnt, nc)
+	ts.rcnt = growInt(ts.rcnt, nc)
+	ts.snapA = growInt(ts.snapA, nc)
+	ts.snapB = growInt(ts.snapB, nc)
+	if maxDepth < 1 {
+		maxDepth = 1
+	}
+	ts.cntStk = growInt(ts.cntStk, (maxDepth+2)*2*nc)
+	ts.cands = growCand(ts.cands, nf)
+	if jobs > 1 {
+		// Three nclass blocks per candidate: working left/right counts
+		// plus the boundary snapshot of the candidate's own best split.
+		ts.cntBuf = growInt(ts.cntBuf, nf*3*nc)
+	}
+	if ts.scanBody == nil {
+		ts.scanBody = ts.scanChunk
+		ts.swapFeats = func(i, j int) { ts.feats[i], ts.feats[j] = ts.feats[j], ts.feats[i] }
+	}
+}
+
+// beginFull loads the scratch with every dataset row at weight 1 — the DTC
+// and GBDT mode, where trees train on the whole dataset.
+func (ts *treeScratch) beginFull() {
+	ci := ts.ci
+	ts.m = ci.n
+	copy(ts.cur[:ci.nfeat*ci.n], ci.order[:ci.nfeat*ci.n])
+	for r := 0; r < ci.n; r++ {
+		ts.rows[r] = int32(r)
+		ts.w[r] = 1
+		ts.wlab[r] = 1<<16 | ci.labels[r]
+	}
+}
+
+// beginBag compacts the shared column index down to the rows the caller
+// weighted in ts.w (bootstrap multiplicities; 0 = out of bag). Filtering the
+// pre-sorted order arrays preserves their (value, row id) order, so the bag
+// never needs re-sorting — the trick that lets RF share one dataset index
+// across all bootstrap samples.
+func (ts *treeScratch) beginBag() {
+	ci := ts.ci
+	// inBag doubles as the branchless advance: every source entry writes,
+	// in-bag entries advance the cursor.
+	inBag := ts.goesL
+	wts := ts.w
+	m := 0
+	for r := 0; r < ci.n; r++ {
+		d := 0
+		if wts[r] > 0 {
+			d = 1
+		}
+		inBag[r] = uint8(d)
+		ts.wlab[r] = wts[r]<<16 | ci.labels[r]
+		ts.rows[m] = int32(r)
+		m += d
+	}
+	ts.m = m
+	for f := 0; f < ci.nfeat; f++ {
+		src := ci.order[f*ci.n : (f+1)*ci.n]
+		dst := ts.cur[f*m : (f+1)*m+1] // +1: slack slot for the final write
+		k := 0
+		for _, r := range src {
+			dst[k] = r
+			k += int(inBag[r])
+		}
+	}
+}
+
+// growClass mirrors buildClassTree over the pre-sorted segment [lo, hi).
+// wTot is the node's total weight — exactly len(idx) in the legacy builder,
+// bootstrap duplicates included. Stop checks, RNG consumption, and the
+// left-before-right recursion all match the legacy builder, so the RNG
+// stream — and with it the tree — is identical.
+// cnt is the node's weighted class counts when the parent already knows
+// them (nil only at the root, which tallies them from its rows).
+func (ts *treeScratch) growClass(cfg TreeConfig, rng *rand.Rand, lo, hi, wTot, d int, cnt []int) *treeNode {
+	if cnt == nil {
+		ts.countNode(lo, hi)
+	} else {
+		copy(ts.ncnt, cnt)
+	}
+	if d >= cfg.MaxDepth || wTot < cfg.MinSamplesSplit || ts.pureNode() {
+		return &treeNode{feature: -1, label: ts.majorityNode()}
+	}
+	feats := ts.candidateFeaturesInto(cfg.FeatureSubset, rng)
+	feat, c := ts.bestSplit(feats, lo, hi, float64(wTot), false)
+	if !c.ok {
+		return &treeNode{feature: -1, label: ts.majorityNode()}
+	}
+	var nLeft, wLeft int
+	if c.thr < c.nv {
+		// The usual case: the midpoint threshold separates the boundary's
+		// two values, so "value <= thr" selects exactly the segment prefix
+		// the scan walked — nLeft, wLeft, and lcnt (the boundary snapshot
+		// bestSplit installed) are already known, no compare pass needed.
+		// The split cannot be degenerate here: 0 < bi+1 < hi-lo.
+		nLeft, wLeft = c.bi+1, c.wl
+		ts.markPrefix(feat, lo, hi, nLeft)
+	} else {
+		// (v+nv)/2 rounded up to nv itself: rows at nv also satisfy
+		// <= thr, exactly as in the legacy builder, so fall back to the
+		// compare pass — it rebuilds lcnt (the snapshot is stale) and may
+		// find the split degenerate. markClass reads ncnt's sibling lcnt
+		// and goesL only; ncnt (which majorityNode reads, and the
+		// recursive calls overwrite) stays valid through this leaf.
+		nLeft, wLeft = ts.markClass(feat, c.thr, lo, hi)
+		if nLeft == 0 || nLeft == hi-lo {
+			return &treeNode{feature: -1, label: ts.majorityNode()}
+		}
+	}
+	// A child that will stop immediately (depth cap, below MinSamplesSplit,
+	// pure — the exact checks it would run on entry) never scans a feature
+	// segment, so when BOTH children are terminal only the rows list is
+	// partitioned (the leaves' class counts come from it) and the feature
+	// segments are left stale. Stale spans are never read again: scans
+	// happen strictly before descent and sibling spans are disjoint.
+	childDeep := d+1 >= cfg.MaxDepth
+	leftTerm := childDeep || wLeft < cfg.MinSamplesSplit || pureCounts(ts.lcnt)
+	rightTerm := childDeep || wTot-wLeft < cfg.MinSamplesSplit || ts.rightPure()
+	ts.propagate(lo, hi, !leftTerm, !rightTerm, feat)
+	// Both children's counts derive from this node's: integer arithmetic,
+	// so exactly what countNode would tally from their rows. The right
+	// block must survive the whole left subtree, which only writes count
+	// blocks at strictly greater depths.
+	nc := len(ts.ncnt)
+	base := (d + 1) * 2 * nc
+	childL := ts.cntStk[base : base+nc]
+	childR := ts.cntStk[base+nc : base+2*nc]
+	copy(childL, ts.lcnt)
+	for c2, n := range ts.ncnt {
+		childR[c2] = n - ts.lcnt[c2]
+	}
+	left := ts.growClass(cfg, rng, lo, lo+nLeft, wLeft, d+1, childL)
+	right := ts.growClass(cfg, rng, lo+nLeft, hi, wTot-wLeft, d+1, childR)
+	return &treeNode{feature: feat, threshold: c.thr, left: left, right: right}
+}
+
+// growReg mirrors buildRegTree over the pre-sorted segment [lo, hi). leaf
+// folds the targets of ts.rows[lo:hi] in slice order; in every branch that
+// reaches it that order equals the legacy rows order (a degenerate
+// partition is the identity permutation), so the float fold matches.
+func (ts *treeScratch) growReg(cfg TreeConfig, rng *rand.Rand, lo, hi, d int,
+	leaf func(rows []int32, tgt []float64) float64) *treeNode {
+
+	rows := ts.rows[lo:hi]
+	if d >= cfg.MaxDepth || hi-lo < cfg.MinSamplesSplit || ts.constTargets(rows) {
+		return &treeNode{feature: -1, value: leaf(rows, ts.tgt)}
+	}
+	feats := ts.candidateFeaturesInto(cfg.FeatureSubset, rng)
+	feat, c := ts.bestSplit(feats, lo, hi, float64(hi-lo), true)
+	if !c.ok {
+		return &treeNode{feature: -1, value: leaf(rows, ts.tgt)}
+	}
+	nLeft, leftConst, rightConst := ts.markReg(feat, c.thr, lo, hi)
+	if nLeft == 0 || nLeft == hi-lo {
+		return &treeNode{feature: -1, value: leaf(rows, ts.tgt)}
+	}
+	// Terminal-child detection, mirroring growClass: GBDT's shallow trees
+	// make the deepest split level the widest, and its children are all
+	// leaves by depth — skipping their feature partitions drops most of the
+	// propagation cost per round.
+	childDeep := d+1 >= cfg.MaxDepth
+	leftTerm := childDeep || nLeft < cfg.MinSamplesSplit || leftConst
+	rightTerm := childDeep || (hi-lo)-nLeft < cfg.MinSamplesSplit || rightConst
+	ts.propagate(lo, hi, !leftTerm, !rightTerm, feat)
+	left := ts.growReg(cfg, rng, lo, lo+nLeft, d+1, leaf)
+	right := ts.growReg(cfg, rng, lo+nLeft, hi, d+1, leaf)
+	return &treeNode{feature: feat, threshold: c.thr, left: left, right: right}
+}
+
+// countNode tallies weighted class counts for ts.rows[lo:hi] into ncnt.
+func (ts *treeScratch) countNode(lo, hi int) {
+	cnt := ts.ncnt
+	for c := range cnt {
+		cnt[c] = 0
+	}
+	labels := ts.ci.labels
+	wts := ts.w
+	for _, r := range ts.rows[lo:hi] {
+		cnt[labels[r]] += int(wts[r])
+	}
+}
+
+// pureNode reports whether the counted node holds at most one class.
+func (ts *treeScratch) pureNode() bool {
+	seen := 0
+	for _, c := range ts.ncnt {
+		if c > 0 {
+			seen++
+		}
+	}
+	return seen <= 1
+}
+
+// majorityNode returns the argmax class of the counted node; ties break
+// toward the lower class ID, exactly like majorityLabel.
+func (ts *treeScratch) majorityNode() int {
+	best, bestN := 0, -1
+	for c, n := range ts.ncnt {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best
+}
+
+// constTargets reports whether every row's target equals the first's — the
+// regression purity stop, matching constantTargets.
+func (ts *treeScratch) constTargets(rows []int32) bool {
+	if len(rows) == 0 {
+		return true
+	}
+	first := ts.tgt[rows[0]]
+	for _, r := range rows[1:] {
+		if ts.tgt[r] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// candidateFeaturesInto fills the scratch feature buffer exactly like
+// candidateFeatures: identity order, then one rng.Shuffle iff the subset is
+// proper — the same RNG consumption, so both builders read the same stream.
+func (ts *treeScratch) candidateFeaturesInto(m int, rng *rand.Rand) []int {
+	nf := ts.ci.nfeat
+	all := ts.feats[:nf]
+	for i := range all {
+		all[i] = i
+	}
+	if m <= 0 || m >= nf {
+		return all
+	}
+	rng.Shuffle(nf, ts.swapFeats)
+	return all[:m]
+}
+
+// bestSplit scans the candidate features over [lo, hi) and returns the split
+// with the lowest impurity. nTot is the node's total weight as a float (the
+// legacy n). Candidates scan independently — serially, or chunk-parallel via
+// ForChunksOf when the scratch has jobs and the node is wide enough — and
+// their per-feature minima merge in candidate order under strict <, which
+// reproduces the legacy running argmin bit for bit: the earliest candidate
+// (lowest feature index when all features are candidates) wins score ties.
+func (ts *treeScratch) bestSplit(feats []int, lo, hi int, nTot float64, reg bool) (feat int, best splitCand) {
+	if reg {
+		// Node target sums, folded over rows in stable row order exactly
+		// like the legacy totalSum/totalSum2 loop.
+		var sum, sum2 float64
+		for _, r := range ts.rows[lo:hi] {
+			t := ts.tgt[r]
+			sum += t
+			sum2 += t * t
+		}
+		ts.regSum, ts.regSum2 = sum, sum2
+	}
+	if ts.jobs > 1 && len(feats) > 1 && hi-lo >= minParallelScanRows {
+		ts.scanFeats, ts.scanLo, ts.scanHi, ts.scanTot, ts.scanReg = feats, lo, hi, nTot, reg
+		parallel.ForChunksOf(ts.jobs, len(feats), 1, ts.scanBody)
+		bestScore := math.Inf(1)
+		win := -1
+		for i, c := range ts.cands[:len(feats)] {
+			if c.ok && c.score < bestScore {
+				bestScore, feat, best, win = c.score, feats[i], c, i
+			}
+		}
+		if win >= 0 && !reg {
+			// Install the winner's boundary snapshot as the node's left
+			// counts (the serial path does the same via snapA/snapB).
+			nc := ts.ci.nclass
+			copy(ts.lcnt, ts.cntBuf[win*3*nc+2*nc:win*3*nc+3*nc])
+		}
+		return feat, best
+	}
+	bestScore := math.Inf(1)
+	// Boundary snapshots double-buffer: each scan writes snapCur at its
+	// improvements; when a feature takes the overall lead its snapshot is
+	// kept by swapping the buffers, so snapBest always tracks the leader.
+	snapCur, snapBest := ts.snapA, ts.snapB
+	for _, f := range feats {
+		var c splitCand
+		if reg {
+			c = ts.scanMSE(f, lo, hi)
+		} else {
+			c = ts.scanGini(f, lo, hi, nTot, ts.lcnt, ts.rcnt, snapCur)
+		}
+		if c.ok && c.score < bestScore {
+			bestScore, feat, best = c.score, f, c
+			snapCur, snapBest = snapBest, snapCur
+		}
+	}
+	if best.ok && !reg {
+		copy(ts.lcnt, snapBest)
+	}
+	return feat, best
+}
+
+// scanChunk is the hoisted ForChunksOf body for the parallel feature scan:
+// chunk size is 1, so chunk indexes both the candidate and its private
+// left/right count scratch in cntBuf.
+func (ts *treeScratch) scanChunk(chunk, clo, chi int) {
+	for i := clo; i < chi; i++ {
+		f := ts.scanFeats[i]
+		var c splitCand
+		if ts.scanReg {
+			c = ts.scanMSE(f, ts.scanLo, ts.scanHi)
+		} else {
+			nc := ts.ci.nclass
+			buf := ts.cntBuf[i*3*nc:]
+			c = ts.scanGini(f, ts.scanLo, ts.scanHi, ts.scanTot, buf[:nc], buf[nc:2*nc], buf[2*nc:3*nc])
+		}
+		ts.cands[i] = c
+	}
+}
+
+// giniNZ is gini (tree.go) with zero-count classes skipped. Skipping class
+// c == 0 elides the exact no-op g -= (0/n)*(0/n) == g - 0, so the result is
+// bit-identical to the legacy fold while concentrated nodes — most nodes
+// below the first few levels — skip most of the float divisions, the
+// dominant cost of the boundary evaluation.
+//
+//cocg:hot
+func giniNZ(counts []int, n float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, c := range counts {
+		if c != 0 {
+			p := float64(c) / n
+			g -= p * p
+		}
+	}
+	return g
+}
+
+// scanGini finds feature f's best boundary in [lo, hi) with one linear pass
+// over the pre-sorted segment: weighted class counts move from right to
+// left one entry at a time, equal-value boundaries are skipped, and the
+// score expression is copied verbatim from bestGiniSplit — entry weights
+// stand in for the legacy builder's duplicated bootstrap rows, producing
+// the same integer counts and therefore the same floats.
+//
+//cocg:hot
+func (ts *treeScratch) scanGini(f, lo, hi int, nTot float64, lcnt, rcnt, snap []int) (c splitCand) {
+	ci := ts.ci
+	seg := ts.cur[f*ts.m+lo : f*ts.m+hi]
+	col := ci.vals[f*ci.n : (f+1)*ci.n]
+	wlab := ts.wlab
+	for c := range lcnt {
+		lcnt[c] = 0
+	}
+	// The right side starts as the whole node, whose weighted class counts
+	// countNode already tallied into ncnt — no per-feature recount pass.
+	copy(rcnt, ts.ncnt)
+	if len(seg) == 0 {
+		return c
+	}
+	best := math.Inf(1)
+	wl := 0
+	// v carries col[seg[i]] across iterations, so each step loads only the
+	// successor's value.
+	v := col[seg[0]]
+	for i := 0; i < len(seg)-1; i++ {
+		r := seg[i]
+		// One packed load per entry: weight in the high half, label low.
+		wlr := wlab[r]
+		w := int(wlr >> 16)
+		lab := wlr & 0xffff
+		lcnt[lab] += w
+		rcnt[lab] -= w
+		wl += w
+		nv := col[seg[i+1]]
+		// A boundary exists only between distinct values; wl counts
+		// weights, matching the legacy i+1 over duplicated rows.
+		if v != nv {
+			nlf := float64(wl)
+			nrf := nTot - nlf
+			s := nlf/nTot*giniNZ(lcnt, nlf) + nrf/nTot*giniNZ(rcnt, nrf)
+			if s < best {
+				best = s
+				c = splitCand{score: s, thr: (v + nv) / 2, nv: nv, bi: i, wl: wl, ok: true}
+				copy(snap, lcnt)
+			}
+		}
+		v = nv
+	}
+	return c
+}
+
+// scanMSE finds feature f's best boundary in [lo, hi) with one linear pass:
+// left-side target sums accumulate entry by entry in the segment's (value,
+// row id) order — the same defined order the stable legacy sort visits — so
+// every float operation matches bestMSESplit exactly.
+//
+//cocg:hot
+func (ts *treeScratch) scanMSE(f, lo, hi int) (c splitCand) {
+	ci := ts.ci
+	seg := ts.cur[f*ts.m+lo : f*ts.m+hi]
+	col := ci.vals[f*ci.n : (f+1)*ci.n]
+	totalSum, totalSum2 := ts.regSum, ts.regSum2
+	tgt := ts.tgt
+	n := float64(len(seg))
+	if len(seg) == 0 {
+		return c
+	}
+	best := math.Inf(1)
+	var ls, ls2 float64
+	v := col[seg[0]]
+	for i := 0; i < len(seg)-1; i++ {
+		r := seg[i]
+		t := tgt[r]
+		ls += t
+		ls2 += t * t
+		nv := col[seg[i+1]]
+		if v != nv {
+			nl := float64(i + 1)
+			nr := n - nl
+			rs := totalSum - ls
+			rs2 := totalSum2 - ls2
+			// SSE of each side = sum(t^2) - (sum t)^2 / n.
+			s := (ls2 - ls*ls/nl) + (rs2 - rs*rs/nr)
+			if s < best {
+				best = s
+				c = splitCand{score: s, thr: (v + nv) / 2, ok: true}
+			}
+		}
+		v = nv
+	}
+	return c
+}
+
+// markPrefix sets goesL straight from the winning feature's segment: when
+// thr < nv, "value <= thr" selects exactly the first nLeft entries of the
+// value-sorted segment, so the marks need no compares — two sequential
+// passes over row ids.
+//
+//cocg:hot
+func (ts *treeScratch) markPrefix(feat, lo, hi, nLeft int) {
+	seg := ts.cur[feat*ts.m+lo : feat*ts.m+hi]
+	goesL := ts.goesL
+	for _, r := range seg[:nLeft] {
+		goesL[r] = 1
+	}
+	for _, r := range seg[nLeft:] {
+		goesL[r] = 0
+	}
+}
+
+// markClass classifies the node's rows under (feat, thr) without moving
+// anything: goesL flags per row, the left side's entry count and weight,
+// and its weighted class counts into lcnt — everything the degenerate-leaf
+// and terminal-child checks need before any segment is touched.
+//
+//cocg:hot
+func (ts *treeScratch) markClass(feat int, thr float64, lo, hi int) (nLeft, wLeft int) {
+	ci := ts.ci
+	col := ci.vals[feat*ci.n : (feat+1)*ci.n]
+	goesL := ts.goesL
+	wts := ts.w
+	labels := ci.labels
+	lcnt := ts.lcnt
+	for c := range lcnt {
+		lcnt[c] = 0
+	}
+	for _, r := range ts.rows[lo:hi] {
+		if col[r] <= thr {
+			goesL[r] = 1
+			w := int(wts[r])
+			nLeft++
+			wLeft += w
+			lcnt[labels[r]] += w
+		} else {
+			goesL[r] = 0
+		}
+	}
+	return nLeft, wLeft
+}
+
+// markReg is markClass for regression: instead of class counts it tracks
+// whether each side's targets are constant — the child's own stop check,
+// computed a level early so terminal children can skip propagation.
+//
+//cocg:hot
+func (ts *treeScratch) markReg(feat int, thr float64, lo, hi int) (nLeft int, leftConst, rightConst bool) {
+	ci := ts.ci
+	col := ci.vals[feat*ci.n : (feat+1)*ci.n]
+	goesL := ts.goesL
+	tgt := ts.tgt
+	leftConst, rightConst = true, true
+	var lt, rt float64
+	haveL, haveR := false, false
+	for _, r := range ts.rows[lo:hi] {
+		t := tgt[r]
+		if col[r] <= thr {
+			goesL[r] = 1
+			nLeft++
+			if !haveL {
+				lt, haveL = t, true
+			} else if t != lt {
+				leftConst = false
+			}
+		} else {
+			goesL[r] = 0
+			if !haveR {
+				rt, haveR = t, true
+			} else if t != rt {
+				rightConst = false
+			}
+		}
+	}
+	return nLeft, leftConst, rightConst
+}
+
+// pureCounts reports whether counts holds at most one nonzero class — the
+// same test pureNode will run on the child.
+func pureCounts(counts []int) bool {
+	seen := 0
+	for _, c := range counts {
+		if c > 0 {
+			seen++
+		}
+	}
+	return seen <= 1
+}
+
+// rightPure reports whether the right child (node counts minus the left
+// counts markClass just filled) holds at most one class.
+func (ts *treeScratch) rightPure() bool {
+	seen := 0
+	for c, n := range ts.ncnt {
+		if n-ts.lcnt[c] > 0 {
+			seen++
+		}
+	}
+	return seen <= 1
+}
+
+// propagate applies the goesL marks: the rows list always partitions (leaf
+// statistics read it), the nfeat feature segments only as far as a child
+// will scan them. A terminal child (scanL/scanR false) never reads its
+// feature spans, so when only one child survives its side compacts in
+// place — half the writes and no bounce buffer — and when neither does the
+// segments are left stale entirely. The split feature itself (skip) never
+// needs moving: its left rows are exactly a prefix of its value-sorted
+// segment, so the stable partition would be the identity there.
+//
+//cocg:hot
+func (ts *treeScratch) propagate(lo, hi int, scanL, scanR bool, skip int) {
+	ts.stablePartition(ts.rows[lo:hi])
+	if !scanL && !scanR {
+		return
+	}
+	ci := ts.ci
+	for f := 0; f < ci.nfeat; f++ {
+		if f == skip {
+			continue
+		}
+		seg := ts.cur[f*ts.m+lo : f*ts.m+hi]
+		switch {
+		case scanL && scanR:
+			ts.stablePartition(seg)
+		case scanL:
+			ts.compactLeft(seg)
+		default:
+			ts.compactRight(seg)
+		}
+	}
+}
+
+// compactLeft keeps only the left-marked rows, packed stably at the front;
+// the right span is left stale (its child is terminal and never reads it).
+// Branchless: every entry writes at the cursor, left marks advance it, and
+// the cursor never passes the read index.
+//
+//cocg:hot
+func (ts *treeScratch) compactLeft(seg []int32) {
+	goesL := ts.goesL
+	k := 0
+	for _, r := range seg {
+		seg[k] = r
+		k += int(goesL[r])
+	}
+}
+
+// compactRight is the mirror: right-marked rows pack stably at the back via
+// a descending pass (the write cursor never drops below the read index), and
+// the stale left span belongs to a terminal child.
+//
+//cocg:hot
+func (ts *treeScratch) compactRight(seg []int32) {
+	goesL := ts.goesL
+	k := len(seg) - 1
+	for i := len(seg) - 1; i >= 0; i-- {
+		r := seg[i]
+		seg[k] = r
+		k -= 1 - int(goesL[r])
+	}
+}
+
+// stablePartition reorders seg so rows marked goesL come first, both sides
+// keeping their relative order. The loop is branchless: every entry writes
+// both the in-place left cursor (safe: it never passes the read index) and
+// the bounce buffer, and the flag advances exactly one of them.
+//
+//cocg:hot
+func (ts *treeScratch) stablePartition(seg []int32) {
+	goesL := ts.goesL
+	tmp := ts.tmp
+	k, t := 0, 0
+	for _, r := range seg {
+		d := int(goesL[r])
+		seg[k] = r
+		tmp[t] = r
+		k += d
+		t += 1 - d
+	}
+	copy(seg[k:], tmp[:t])
+}
+
+// fitScratch is the reusable training arena a model keeps across Fit calls:
+// the shared column index plus a bounded free list of tree scratches, one
+// per concurrent tree worker. The free list is a buffered channel rather
+// than a sync.Pool because the scratches must be exactly sized and never
+// dropped between Fit calls (and the poolcheck analyzer polices pools whose
+// contents are load-bearing).
+type fitScratch struct {
+	ci        colIndex
+	scratches []*treeScratch
+	free      chan *treeScratch
+}
+
+// prepare rebuilds the column index for ds and stocks the free list with
+// par scratches, each configured for treeJobs within-tree scan workers.
+func (s *fitScratch) prepare(ds *Dataset, indexWorkers, par, treeJobs, maxDepth int) {
+	s.ci.build(ds, indexWorkers)
+	if par < 1 {
+		par = 1
+	}
+	for len(s.scratches) < par {
+		s.scratches = append(s.scratches, &treeScratch{})
+	}
+	if s.free == nil || cap(s.free) < par {
+		s.free = make(chan *treeScratch, par)
+	}
+	// Drain whatever a previous Fit left stocked, then issue exactly par
+	// freshly sized scratches.
+drain:
+	for {
+		select {
+		case <-s.free:
+		default:
+			break drain
+		}
+	}
+	for _, ts := range s.scratches[:par] {
+		ts.ensure(&s.ci, treeJobs, maxDepth)
+		s.free <- ts
+	}
+}
+
+// --- sized-buffer helpers (grow capacity, reslice to exact length) ---
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}
+
+func growCand(s []splitCand, n int) []splitCand {
+	if cap(s) < n {
+		return make([]splitCand, n)
+	}
+	return s[:n]
+}

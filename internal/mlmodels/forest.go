@@ -43,6 +43,10 @@ type RandomForest struct {
 	// scored only by trees whose bootstrap missed it, giving a held-out
 	// quality estimate without sacrificing training data.
 	oob float64
+	// fit is the reusable pre-sorted training arena (see fit.go): one
+	// column index shared by every bagged tree plus a free list of
+	// per-worker tree scratches. Lazily created, never serialized.
+	fit *fitScratch
 }
 
 // OOBAccuracy returns the out-of-bag accuracy estimate from the last Fit,
@@ -62,7 +66,12 @@ func NewRandomForest(cfg ForestConfig) *RandomForest {
 // Name implements Classifier.
 func (f *RandomForest) Name() string { return "RF" }
 
-// Fit implements Classifier.
+// Fit implements Classifier. Training runs on the pre-sorted column index
+// (fit.go): the dataset is indexed once, each bagged tree compacts the
+// shared index down to its bootstrap rows (multiplicities become per-row
+// weights), and tree workers draw reusable scratches from a free list. The
+// fitted forest — trees and OOB estimate — is byte-identical to the legacy
+// per-node-sorting builder (fitLegacy) at every worker count.
 func (f *RandomForest) Fit(ds *Dataset) error {
 	if ds == nil || ds.Len() == 0 {
 		return ErrEmptyDataset
@@ -76,6 +85,9 @@ func (f *RandomForest) Fit(ds *Dataset) error {
 			treeCfg.FeatureSubset = 1
 		}
 	}
+	// The bagged trees own the worker budget; each member tree scans its
+	// features serially.
+	treeCfg.Workers = 1
 	n := ds.Len()
 	// Draw every tree's seed serially from the master RNG before fanning
 	// out, so the forest is a pure function of cfg.Seed regardless of how
@@ -84,39 +96,60 @@ func (f *RandomForest) Fit(ds *Dataset) error {
 	for t := range seeds {
 		seeds[t] = rng.Int63()
 	}
+	if f.fit == nil {
+		f.fit = &fitScratch{}
+	}
+	scratches := parallel.Workers(f.cfg.Workers)
+	if scratches > f.cfg.NumTrees {
+		scratches = f.cfg.NumTrees
+	}
+	f.fit.prepare(ds, f.cfg.Workers, scratches, 1, treeCfg.MaxDepth)
 	f.trees = make([]*treeNode, f.cfg.NumTrees)
 	// oobPred[t][i] is tree t's prediction for sample i when the bootstrap
 	// missed it, or -1 when sample i was in tree t's bag.
 	oobPred := make([][]int32, f.cfg.NumTrees)
 	parallel.For(f.cfg.Workers, f.cfg.NumTrees, func(t int) {
 		treeRNG := rand.New(rand.NewSource(seeds[t]))
-		// Bootstrap sample with replacement.
-		inBag := make([]bool, n)
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = treeRNG.Intn(n)
-			inBag[idx[i]] = true
+		ts := <-f.fit.free
+		// Bootstrap sample with replacement: the same n draws the legacy
+		// builder makes, recorded as per-row multiplicities instead of a
+		// duplicated index slice. The root's total weight is n.
+		w := ts.w[:n]
+		for r := range w {
+			w[r] = 0
 		}
-		tree := buildClassTree(ds, idx, treeCfg, 0, treeRNG)
-		f.trees[t] = tree
+		for i := 0; i < n; i++ {
+			w[treeRNG.Intn(n)]++
+		}
+		ts.beginBag()
+		tree := ts.growClass(treeCfg, treeRNG, 0, ts.m, n, 0, nil)
+		// OOB predictions read ts.w (the in-bag marks), so they run before
+		// the scratch goes back to the free list. The walk runs over a
+		// flat compile of the fresh tree (reusing the scratch's arena
+		// buffer) — same tree, same predictions, contiguous nodes.
+		ts.oobFlat = ts.oobFlat[:0]
+		appendFlat(&ts.oobFlat, tree)
 		pred := make([]int32, n)
 		for i, s := range ds.Samples {
-			if inBag[i] {
+			if ts.w[i] > 0 {
 				pred[i] = -1
 				continue
 			}
-			node := tree
-			for !node.isLeaf() {
-				if s.Features[node.feature] <= node.threshold {
-					node = node.left
-				} else {
-					node = node.right
-				}
-			}
-			pred[i] = int32(node.label)
+			pred[i] = flatLeaf(ts.oobFlat, 0, s.Features).label
 		}
+		f.fit.free <- ts
+		f.trees[t] = tree
 		oobPred[t] = pred
 	})
+	f.finishFit(ds, oobPred)
+	return nil
+}
+
+// finishFit aggregates the per-tree OOB predictions into the forest's OOB
+// accuracy and compiles the flat inference arena — the tail both Fit and
+// fitLegacy share.
+func (f *RandomForest) finishFit(ds *Dataset, oobPred [][]int32) {
+	n := ds.Len()
 	// oobVotes[i][c] counts class-c votes for sample i from trees that did
 	// not see it; integer accumulation, so merge order is irrelevant.
 	oobVotes := make([][]int, n)
@@ -156,6 +189,59 @@ func (f *RandomForest) Fit(ds *Dataset) error {
 	f.nfeat = ds.NumFeatures
 	f.nclass = ds.NumClasses
 	f.fitted = true
+}
+
+// fitLegacy is the pre-sorted trainer's reference implementation: the
+// original builder that re-sorts every feature at every node, retained for
+// the golden equivalence suite and the recorded before/after benchmarks.
+func (f *RandomForest) fitLegacy(ds *Dataset) error {
+	if ds == nil || ds.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	rng := rand.New(rand.NewSource(f.cfg.Seed))
+	treeCfg := f.cfg.Tree
+	if treeCfg.FeatureSubset <= 0 {
+		treeCfg.FeatureSubset = int(math.Sqrt(float64(ds.NumFeatures)))
+		if treeCfg.FeatureSubset < 1 {
+			treeCfg.FeatureSubset = 1
+		}
+	}
+	n := ds.Len()
+	seeds := make([]int64, f.cfg.NumTrees)
+	for t := range seeds {
+		seeds[t] = rng.Int63()
+	}
+	f.trees = make([]*treeNode, f.cfg.NumTrees)
+	oobPred := make([][]int32, f.cfg.NumTrees)
+	parallel.For(f.cfg.Workers, f.cfg.NumTrees, func(t int) {
+		treeRNG := rand.New(rand.NewSource(seeds[t]))
+		inBag := make([]bool, n)
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = treeRNG.Intn(n)
+			inBag[idx[i]] = true
+		}
+		tree := buildClassTree(ds, idx, treeCfg, 0, treeRNG)
+		f.trees[t] = tree
+		pred := make([]int32, n)
+		for i, s := range ds.Samples {
+			if inBag[i] {
+				pred[i] = -1
+				continue
+			}
+			node := tree
+			for !node.isLeaf() {
+				if s.Features[node.feature] <= node.threshold {
+					node = node.left
+				} else {
+					node = node.right
+				}
+			}
+			pred[i] = int32(node.label)
+		}
+		oobPred[t] = pred
+	})
+	f.finishFit(ds, oobPred)
 	return nil
 }
 

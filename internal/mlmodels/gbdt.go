@@ -51,6 +51,10 @@ type GBDT struct {
 	nclass int
 	prior  []float64 // initial log-odds per class
 	fitted bool
+	// fit is the reusable pre-sorted training arena (see fit.go): one
+	// column index shared by every round's class trees plus a free list of
+	// per-class tree scratches. Lazily created, never serialized.
+	fit *fitScratch
 }
 
 // NewGBDT returns an unfitted GBDT classifier.
@@ -61,19 +65,114 @@ func NewGBDT(cfg GBDTConfig) *GBDT {
 // Name implements Classifier.
 func (g *GBDT) Name() string { return "GBDT" }
 
-// Fit implements Classifier.
+// Fit implements Classifier. Training runs on the pre-sorted column index
+// (fit.go): the dataset is indexed once for all rounds (residuals change
+// every round, feature order never does), class trees draw reusable
+// scratches from a free list, and each round's trees grow by linear scans.
+// The fitted model is byte-identical to the legacy per-node-sorting builder
+// (fitLegacy) at every worker count.
 func (g *GBDT) Fit(ds *Dataset) error {
 	if ds == nil || ds.Len() == 0 {
 		return ErrEmptyDataset
 	}
 	n := ds.Len()
-	k := ds.NumClasses
+	k, scores := g.initBoost(ds)
+	rng := rand.New(rand.NewSource(g.cfg.Seed))
+
+	g.trees = make([][]*treeNode, 0, g.cfg.NumRounds)
+	kf := float64(k)
+	workers := g.cfg.Workers
+	// The per-class trees own the worker budget; each scans its features
+	// serially.
+	treeCfg := g.cfg.Tree
+	treeCfg.Workers = 1
+	if g.fit == nil {
+		g.fit = &fitScratch{}
+	}
+	scratches := parallel.Workers(workers)
+	if scratches > k {
+		scratches = k
+	}
+	g.fit.prepare(ds, workers, scratches, 1, treeCfg.MaxDepth)
+	// leaf is the Newton step for the softmax objective:
+	// (K-1)/K * sum(r) / sum(|r| * (1-|r|)), folded in stable row order —
+	// the same order the legacy builder's rows slices carry.
+	leaf := func(rows []int32, tgt []float64) float64 {
+		var num, den float64
+		for _, r := range rows {
+			t := tgt[r]
+			num += t
+			a := math.Abs(t)
+			den += a * (1 - a)
+		}
+		if den < 1e-12 {
+			return 0
+		}
+		return (kf - 1) / kf * num / den
+	}
+	// residuals[c][i] is class c's negative gradient for sample i; the row
+	// identity that regTarget carried is implicit in the index.
+	residuals := make([][]float64, k)
+	for c := range residuals {
+		residuals[c] = make([]float64, n)
+	}
+	for round := 0; round < g.cfg.NumRounds; round++ {
+		// Residuals for every class under the current model; each sample's
+		// row is independent, so the pass fans out over sample chunks.
+		parallel.ForChunks(workers, n, func(_, lo, hi int) {
+			probs := make([]float64, k)
+			for i := lo; i < hi; i++ {
+				softmaxInto(scores[i], probs)
+				for c := 0; c < k; c++ {
+					y := 0.0
+					if ds.Samples[i].Label == c {
+						y = 1.0
+					}
+					residuals[c][i] = y - probs[c]
+				}
+			}
+		})
+		// One candidate tree per class; the fits are independent given the
+		// residuals. Seeds are drawn serially so the fan-out cannot change
+		// the model.
+		seeds := make([]int64, k)
+		for c := range seeds {
+			seeds[c] = rng.Int63()
+		}
+		roundTrees := make([]*treeNode, k)
+		parallel.For(workers, k, func(c int) {
+			classRNG := rand.New(rand.NewSource(seeds[c]))
+			ts := <-g.fit.free
+			ts.beginFull()
+			copy(ts.tgt[:n], residuals[c])
+			roundTrees[c] = ts.growReg(treeCfg, classRNG, 0, n, 0, leaf)
+			g.fit.free <- ts
+		})
+		// Update scores with the shrunken tree outputs.
+		parallel.ForChunks(workers, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for c := 0; c < k; c++ {
+					scores[i][c] += g.cfg.LearningRate * predictReg(roundTrees[c], ds.Samples[i].Features)
+				}
+			}
+		})
+		g.trees = append(g.trees, roundTrees)
+	}
+	g.flat, g.roots = compileRounds(g.trees)
+	g.nfeat = ds.NumFeatures
+	g.nclass = k
+	g.fitted = true
+	return nil
+}
+
+// initBoost computes the Laplace-smoothed log priors and the per-sample
+// score matrix both builders start from.
+func (g *GBDT) initBoost(ds *Dataset) (k int, scores [][]float64) {
+	n := ds.Len()
+	k = ds.NumClasses
 	if k < 2 {
 		k = 2 // degenerate single-class data still needs a valid softmax
 	}
-	rng := rand.New(rand.NewSource(g.cfg.Seed))
-
-	// Initialize scores with class-frequency log priors.
 	counts := make([]float64, k)
 	for _, s := range ds.Samples {
 		counts[s.Label]++
@@ -83,19 +182,30 @@ func (g *GBDT) Fit(ds *Dataset) error {
 		p := (counts[c] + 1) / (float64(n) + float64(k)) // Laplace smoothing
 		g.prior[c] = math.Log(p)
 	}
-
 	// scores[i][c] is the current raw score of sample i for class c.
-	scores := make([][]float64, n)
+	scores = make([][]float64, n)
 	for i := range scores {
 		scores[i] = make([]float64, k)
 		copy(scores[i], g.prior)
 	}
+	return k, scores
+}
+
+// fitLegacy is the pre-sorted trainer's reference implementation: the
+// original builder that re-sorts every feature at every node and round,
+// retained for the golden equivalence suite and the recorded before/after
+// benchmarks.
+func (g *GBDT) fitLegacy(ds *Dataset) error {
+	if ds == nil || ds.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	n := ds.Len()
+	k, scores := g.initBoost(ds)
+	rng := rand.New(rand.NewSource(g.cfg.Seed))
 
 	g.trees = make([][]*treeNode, 0, g.cfg.NumRounds)
 	kf := float64(k)
 	workers := g.cfg.Workers
-	// leaf is the Newton step for the softmax objective:
-	// (K-1)/K * sum(r) / sum(|r| * (1-|r|)).
 	leaf := func(rows []regTarget) float64 {
 		var num, den float64
 		for _, r := range rows {
@@ -113,8 +223,6 @@ func (g *GBDT) Fit(ds *Dataset) error {
 		residuals[c] = make([]regTarget, n)
 	}
 	for round := 0; round < g.cfg.NumRounds; round++ {
-		// Residuals for every class under the current model; each sample's
-		// row is independent, so the pass fans out over sample chunks.
 		parallel.ForChunks(workers, n, func(_, lo, hi int) {
 			probs := make([]float64, k)
 			for i := lo; i < hi; i++ {
@@ -128,9 +236,6 @@ func (g *GBDT) Fit(ds *Dataset) error {
 				}
 			}
 		})
-		// One candidate tree per class; the fits are independent given the
-		// residuals. Seeds are drawn serially so the fan-out cannot change
-		// the model.
 		seeds := make([]int64, k)
 		for c := range seeds {
 			seeds[c] = rng.Int63()
@@ -140,7 +245,6 @@ func (g *GBDT) Fit(ds *Dataset) error {
 			classRNG := rand.New(rand.NewSource(seeds[c]))
 			roundTrees[c] = buildRegTree(ds, residuals[c], g.cfg.Tree, 0, classRNG, leaf)
 		})
-		// Update scores with the shrunken tree outputs.
 		parallel.ForChunks(workers, n, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				for c := 0; c < k; c++ {

@@ -15,6 +15,13 @@ type TreeConfig struct {
 	// split (Random Forest style). 0 considers all features.
 	FeatureSubset int
 	Seed          int64
+	// Workers bounds the goroutines used for within-tree candidate-feature
+	// scans during Fit (and for building the pre-sorted column index);
+	// <= 1 scans serially. The fitted tree is identical at every value —
+	// see fit.go's exactness contract. RF and GBDT force their member
+	// trees serial because their tree/class fan-out already owns the
+	// worker budget.
+	Workers int
 }
 
 func (c TreeConfig) withDefaults() TreeConfig {
@@ -48,6 +55,9 @@ type DecisionTree struct {
 	flat   []flatNode // compiled inference layout (see flat.go)
 	nfeat  int
 	fitted bool
+	// fit is the reusable pre-sorted training arena (see fit.go); it is
+	// lazily created on first Fit and never serialized.
+	fit *fitScratch
 }
 
 // NewDecisionTree returns an unfitted decision tree classifier.
@@ -58,8 +68,34 @@ func NewDecisionTree(cfg TreeConfig) *DecisionTree {
 // Name implements Classifier.
 func (t *DecisionTree) Name() string { return "DTC" }
 
-// Fit implements Classifier.
+// Fit implements Classifier. Training runs on the pre-sorted column index
+// (fit.go): each feature is sorted once, nodes grow by linear scans, and
+// the scratch arena is reused across refits. The fitted tree is
+// byte-identical to the legacy per-node-sorting builder (fitLegacy).
 func (t *DecisionTree) Fit(ds *Dataset) error {
+	if ds == nil || ds.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	if t.fit == nil {
+		t.fit = &fitScratch{}
+	}
+	t.fit.prepare(ds, t.cfg.Workers, 1, t.cfg.Workers, t.cfg.MaxDepth)
+	rng := rand.New(rand.NewSource(t.cfg.Seed))
+	ts := <-t.fit.free
+	ts.beginFull()
+	t.root = ts.growClass(t.cfg, rng, 0, ts.m, ts.m, 0, nil)
+	t.fit.free <- ts
+	t.flat = compileTree(t.root)
+	t.nfeat = ds.NumFeatures
+	t.fitted = true
+	return nil
+}
+
+// fitLegacy is the pre-sorted trainer's reference implementation: the
+// original per-node sorting builder, retained — exactly as predictPointer
+// was for inference — for the golden equivalence suite and the recorded
+// before/after training benchmarks.
+func (t *DecisionTree) fitLegacy(ds *Dataset) error {
 	if ds == nil || ds.Len() == 0 {
 		return ErrEmptyDataset
 	}
@@ -174,22 +210,34 @@ func pureLabels(samples []Sample, idx []int) bool {
 	return true
 }
 
+// giniVals sorts the classification scan's (value, label) pairs by value
+// through typed methods instead of sort.Slice's reflection-based swapper.
+// The sort may stay unstable: every statistic the scan derives from a run
+// of equal values is an integer class count over the run's multiset, so
+// any permutation within a tie run yields the same split.
+type giniVal struct {
+	v     float64
+	label int
+}
+
+type giniVals []giniVal
+
+func (s giniVals) Len() int           { return len(s) }
+func (s giniVals) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s giniVals) Less(i, j int) bool { return s[i].v < s[j].v }
+
 // bestGiniSplit scans candidate features for the split with the lowest
 // weighted Gini impurity.
 func bestGiniSplit(ds *Dataset, idx []int, cfg TreeConfig, rng *rand.Rand) (feat int, thr float64, ok bool) {
 	features := candidateFeatures(ds.NumFeatures, cfg.FeatureSubset, rng)
 	bestScore := math.Inf(1)
-	type fv struct {
-		v     float64
-		label int
-	}
-	vals := make([]fv, 0, len(idx))
+	vals := make(giniVals, 0, len(idx))
 	for _, f := range features {
 		vals = vals[:0]
 		for _, i := range idx {
-			vals = append(vals, fv{ds.Samples[i].Features[f], ds.Samples[i].Label})
+			vals = append(vals, giniVal{ds.Samples[i].Features[f], ds.Samples[i].Label})
 		}
-		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		sort.Sort(vals)
 
 		// Incremental class counts for left/right partitions.
 		leftCounts := make([]int, ds.NumClasses)
@@ -297,15 +345,31 @@ func constantTargets(rows []regTarget) bool {
 	return true
 }
 
+// mseVals sorts the regression scan's (value, target) pairs by value. It is
+// sorted with sort.Stable, and that stability is load-bearing: the scan
+// folds float targets in sorted order, so the order WITHIN a run of equal
+// values is observable in the split scores. Stable sorting pins that tie
+// order to the node-row insertion order — the same (value, then row
+// position) total order the pre-sorted trainer's column index uses — which
+// is what makes byte-identical equivalence between the two builders
+// provable. The previous unstable sort.Slice left tie runs in whatever
+// permutation pdqsort produced.
+type mseVals []mseVal
+
+type mseVal struct {
+	v, t float64
+}
+
+func (s mseVals) Len() int           { return len(s) }
+func (s mseVals) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s mseVals) Less(i, j int) bool { return s[i].v < s[j].v }
+
 // bestMSESplit finds the split minimizing the within-partition sum of squared
 // deviations, computed incrementally from running sums.
 func bestMSESplit(ds *Dataset, rows []regTarget, cfg TreeConfig, rng *rand.Rand) (feat int, thr float64, ok bool) {
 	features := candidateFeatures(ds.NumFeatures, cfg.FeatureSubset, rng)
 	bestScore := math.Inf(1)
-	type fv struct {
-		v, t float64
-	}
-	vals := make([]fv, 0, len(rows))
+	vals := make(mseVals, 0, len(rows))
 	var totalSum, totalSum2 float64
 	for _, r := range rows {
 		totalSum += r.target
@@ -315,9 +379,9 @@ func bestMSESplit(ds *Dataset, rows []regTarget, cfg TreeConfig, rng *rand.Rand)
 	for _, f := range features {
 		vals = vals[:0]
 		for _, r := range rows {
-			vals = append(vals, fv{ds.Samples[r.idx].Features[f], r.target})
+			vals = append(vals, mseVal{ds.Samples[r.idx].Features[f], r.target})
 		}
-		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		sort.Stable(vals)
 		var ls, ls2 float64
 		for i := 0; i < len(vals)-1; i++ {
 			ls += vals[i].t

@@ -475,7 +475,7 @@ func TrainModels(ds *mlmodels.Dataset, seed int64) ([]mlmodels.Classifier, error
 // models are identical at every worker count.
 func TrainModelsParallel(ds *mlmodels.Dataset, seed int64, workers int) ([]mlmodels.Classifier, error) {
 	models := []mlmodels.Classifier{
-		mlmodels.NewDecisionTree(mlmodels.TreeConfig{Seed: seed}),
+		mlmodels.NewDecisionTree(mlmodels.TreeConfig{Seed: seed, Workers: workers}),
 		mlmodels.NewRandomForest(mlmodels.ForestConfig{NumTrees: 40, Seed: seed, Workers: workers}),
 		mlmodels.NewGBDT(mlmodels.GBDTConfig{NumRounds: 40, Seed: seed, Workers: workers}),
 	}
