@@ -58,10 +58,22 @@ bench:
 # bench-fleet runs the fleet-scale placement benchmarks: a full distributor
 # scan of a warm 1k-server fleet (Poisson arrivals over the five-game mix)
 # at serial and parallel -jobs settings, plus the steady-state admission
-# micro-benchmarks that must stay allocation-free. Lint-gated like every
-# recorded measurement.
+# micro-benchmarks that must stay allocation-free. It then records the fleet
+# load accounting trajectory (BENCH_PR10.json): the legacy full-scan
+# ClusterLoad at 256/1024/4096 servers is recorded first and embedded as the
+# baseline, then the incremental accountant's steady-state and churn polls
+# over the identical fixtures — the equivalence suite (accountant_test.go)
+# proves both sides bit-identical, so the ns/op ratio is a pure same-output
+# speedup. Lint-gated like every recorded measurement.
+FLEET_BENCH_OUT ?= BENCH_PR10.json
 bench-fleet: lint
 	$(GO) test -run '^$$' -bench 'FleetPlacement|Evaluate' -benchmem -benchtime 200x . ./internal/scheduler
+	$(GO) test -count=1 -run 'FleetLoad|ClusterLoad|CacheSweep' ./internal/scheduler  # equivalence gates must pass before the record
+	$(GO) run ./cmd/cocg-bench -bench 'ClusterLoadFullScan' \
+		-pkgs ./internal/scheduler -benchtime 50x -out /tmp/cocg-fleet-baseline.json
+	$(GO) run ./cmd/cocg-bench -bench 'FleetLoad|ClusterLoad' \
+		-pkgs ./internal/scheduler -benchtime 200x \
+		-baseline /tmp/cocg-fleet-baseline.json -out $(FLEET_BENCH_OUT)
 
 # bench-record runs the hot-path benchmarks through cmd/cocg-bench and
 # writes the machine-readable record BENCH_PR4.json (ns/op, B/op, allocs/op,

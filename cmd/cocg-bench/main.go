@@ -57,7 +57,7 @@ type Record struct {
 }
 
 func main() {
-	bench := flag.String("bench", "Predict|KMeans|KNN|FleetPlacement|Evaluate", "benchmark name regex passed to go test -bench")
+	bench := flag.String("bench", "Predict|KMeans|KNN|FleetPlacement|Evaluate|FleetLoad", "benchmark name regex passed to go test -bench")
 	pkgs := flag.String("pkgs", "./...", "package pattern to benchmark")
 	count := flag.Int("count", 1, "go test -count")
 	benchtime := flag.String("benchtime", "", "go test -benchtime (empty = go default)")

@@ -14,8 +14,12 @@
 // charges for it ("name=" and "@latencyMS" are optional). Clients and the
 // load generator connect to -addr exactly as they would to a single
 // cocg-server; the Accept they receive carries the chosen region in its
-// "cluster" field. See docs/FLEET.md for the routing policy, failover
-// semantics, metrics reference, and a 4-cluster local runbook.
+// "cluster" field. The probes pull each cluster's extended load summary
+// (mean headroom, idle/draining server counts, and the per-game predicted
+// demand breakdown the incremental fleet accountant maintains), and -metrics
+// re-exports it per cluster alongside summary staleness and probe-failure
+// counters. See docs/FLEET.md for the routing policy, failover semantics,
+// metrics reference, and a 4-cluster local runbook.
 package main
 
 import (

@@ -36,16 +36,18 @@ type member struct {
 	healthy  bool
 	failures int
 	summary  streaming.ClusterSummary
-	probed   bool // at least one summary ever landed
+	probed   bool      // at least one summary ever landed
+	lastSum  time.Time // when the last summary landed (staleness on /metrics)
 
 	connMu sync.Mutex
 	nc     net.Conn
 
 	// Traffic counters (monotonic since start).
-	routed    atomic.Uint64 // sessions for which this cluster was dialed
-	admitted  atomic.Uint64 // sessions this cluster accepted
-	rejected  atomic.Uint64 // sessions this cluster declined (admission full)
-	transport atomic.Uint64 // session attempts lost to dial/transport errors
+	routed     atomic.Uint64 // sessions for which this cluster was dialed
+	admitted   atomic.Uint64 // sessions this cluster accepted
+	rejected   atomic.Uint64 // sessions this cluster declined (admission full)
+	transport  atomic.Uint64 // session attempts lost to dial/transport errors
+	probeFails atomic.Uint64 // summary probes that errored (dial, send, recv)
 }
 
 // view snapshots the member into the immutable form routing reads.
@@ -69,7 +71,20 @@ func (m *member) noteSummary(sum streaming.ClusterSummary) {
 	m.failures = 0
 	m.summary = sum
 	m.probed = true
+	m.lastSum = time.Now()
 	m.mu.Unlock()
+}
+
+// summaryAge reports seconds since the last summary landed, or -1 when no
+// probe has ever succeeded — the staleness signal /metrics and /status
+// expose per cluster.
+func (m *member) summaryAge() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.probed {
+		return -1
+	}
+	return time.Since(m.lastSum).Seconds()
 }
 
 // noteFailure records one failed probe or session transport error and
@@ -135,11 +150,12 @@ func (co *Coordinator) probeOnce(m *member, feed *streaming.Conn) *streaming.Con
 		feed = streaming.NewConn(nc)
 		// First request negotiates the wire protocol, exactly like a session
 		// Hello: request and reply travel as JSON, the rest of the feed
-		// switches to the negotiated framing (binary against a current
-		// cluster).
+		// switches to the negotiated framing (the extended-summary binary
+		// layout against a current cluster, which carries the per-game
+		// demand breakdown; plain binary or JSON against older ones).
 		_ = nc.SetDeadline(deadline)
 		if err := feed.Send(&streaming.Envelope{Type: streaming.MsgSummaryReq,
-			SummaryReq: &streaming.SummaryReq{Proto: streaming.ProtoBinary}}); err != nil {
+			SummaryReq: &streaming.SummaryReq{Proto: streaming.ProtoBinary3}}); err != nil {
 			m.closeFeed()
 			co.probeFailed(m, err)
 			return nil
@@ -150,7 +166,7 @@ func (co *Coordinator) probeOnce(m *member, feed *streaming.Conn) *streaming.Con
 			co.probeFailed(m, err)
 			return nil
 		}
-		feed.SetProto(streaming.NegotiateProto(streaming.ProtoBinary, env.Summary.Proto))
+		feed.SetProto(streaming.NegotiateProto(streaming.ProtoBinary3, env.Summary.Proto))
 		m.noteSummary(*env.Summary)
 		return feed
 	}
@@ -184,6 +200,7 @@ func (m *member) ncDeadline(t time.Time) error {
 
 // probeFailed folds one probe failure into the member's health state.
 func (co *Coordinator) probeFailed(m *member, err error) {
+	m.probeFails.Add(1)
 	if m.noteFailure(co.cfg.DownAfter) {
 		co.markedDown.Add(1)
 		co.logf("coordinator: cluster %s (%s) marked down: %v", m.name, m.addr, err)

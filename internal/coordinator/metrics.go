@@ -42,12 +42,17 @@ type clusterSnapshot struct {
 	Probed    bool    `json:"probed"`
 	LatencyMS float64 `json:"latency_ms"`
 
+	// SummaryAgeSec is how stale the cluster's load view is: seconds since
+	// the last summary landed, -1 when no probe has ever succeeded.
+	SummaryAgeSec float64 `json:"summary_age_seconds"`
+
 	Summary streaming.ClusterSummary `json:"summary"`
 
-	Routed    uint64 `json:"routed"`
-	Admitted  uint64 `json:"admitted"`
-	Rejected  uint64 `json:"rejected"`
-	Transport uint64 `json:"transport_failures"`
+	Routed        uint64 `json:"routed"`
+	Admitted      uint64 `json:"admitted"`
+	Rejected      uint64 `json:"rejected"`
+	Transport     uint64 `json:"transport_failures"`
+	ProbeFailures uint64 `json:"probe_failures"`
 }
 
 func (co *Coordinator) snapshot() fleetSnapshot {
@@ -68,10 +73,12 @@ func (co *Coordinator) snapshot() fleetSnapshot {
 		}
 		m.mu.Unlock()
 		cs.Summary.Proto = 0 // negotiation detail, not fleet state
+		cs.SummaryAgeSec = m.summaryAge()
 		cs.Routed = m.routed.Load()
 		cs.Admitted = m.admitted.Load()
 		cs.Rejected = m.rejected.Load()
 		cs.Transport = m.transport.Load()
+		cs.ProbeFailures = m.probeFails.Load()
 		out.FleetSessions += cs.Summary.LiveSessions
 		out.Clusters = append(out.Clusters, cs)
 	}
@@ -139,6 +146,30 @@ func (co *Coordinator) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE cocg_coord_cluster_transport_failures_total counter\n")
 	for _, c := range snap.Clusters {
 		fmt.Fprintf(w, "cocg_coord_cluster_transport_failures_total{cluster=%q} %d\n", c.Name, c.Transport)
+	}
+	fmt.Fprintf(w, "# HELP cocg_coord_cluster_summary_age_seconds Seconds since the last load summary landed (-1: never).\n")
+	fmt.Fprintf(w, "# TYPE cocg_coord_cluster_summary_age_seconds gauge\n")
+	for _, c := range snap.Clusters {
+		fmt.Fprintf(w, "cocg_coord_cluster_summary_age_seconds{cluster=%q} %.3f\n", c.Name, c.SummaryAgeSec)
+	}
+	fmt.Fprintf(w, "# HELP cocg_coord_cluster_probe_failures_total Summary probes that errored per cluster.\n")
+	fmt.Fprintf(w, "# TYPE cocg_coord_cluster_probe_failures_total counter\n")
+	for _, c := range snap.Clusters {
+		fmt.Fprintf(w, "cocg_coord_cluster_probe_failures_total{cluster=%q} %d\n", c.Name, c.ProbeFailures)
+	}
+	fmt.Fprintf(w, "# HELP cocg_coord_cluster_idle_servers Idle (zero-session, non-draining) servers per cluster from the last summary.\n")
+	fmt.Fprintf(w, "# TYPE cocg_coord_cluster_idle_servers gauge\n")
+	for _, c := range snap.Clusters {
+		fmt.Fprintf(w, "cocg_coord_cluster_idle_servers{cluster=%q} %d\n", c.Name, c.Summary.IdleServers)
+	}
+	fmt.Fprintf(w, "# HELP cocg_coord_cluster_game_demand Predicted demand per game over the forecast horizon, in servers' worth of capacity.\n")
+	fmt.Fprintf(w, "# TYPE cocg_coord_cluster_game_demand gauge\n")
+	for _, c := range snap.Clusters {
+		for i, g := range c.Summary.Games {
+			if i < len(c.Summary.GameDemand) {
+				fmt.Fprintf(w, "cocg_coord_cluster_game_demand{cluster=%q,game=%q} %.4f\n", c.Name, g, c.Summary.GameDemand[i])
+			}
+		}
 	}
 }
 

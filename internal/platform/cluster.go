@@ -116,6 +116,45 @@ type LoadSummarizer interface {
 	ClusterLoad(servers []*Server) (headroom float64, ok bool)
 }
 
+// FleetLoad is the extended per-cluster summary the coordinator tier and the
+// (upcoming) autoscaler consume: one scalar headroom cannot say *which* game
+// the demand belongs to or how many machines could drain, so the summarizer
+// also breaks predicted demand out per game and counts idle and draining
+// servers. Slice fields follow a split ownership: Games is owned by the
+// summarizer (a stable, sorted, immutable list — callers must not mutate it),
+// while GameDemand is caller storage the summarizer overwrites in place, so a
+// steady-state poll allocates nothing.
+type FleetLoad struct {
+	// Servers is the total server count the summary covers.
+	Servers int
+	// Active counts non-draining servers (the placement rotation);
+	// MeanHeadroom averages over exactly these.
+	Active int
+	// Idle counts active servers hosting zero sessions — the pool a
+	// scale-down pass can drain without migrating anything.
+	Idle int
+	// Draining counts servers out of rotation finishing their sessions.
+	Draining int
+	// MeanHeadroom is the mean predicted free-capacity fraction over active
+	// servers, in [0,1] (1 = idle); 0 when no server is active.
+	MeanHeadroom float64
+	// Games lists the policy's known game names in sorted order; GameDemand
+	// is parallel to it: the fleet's predicted demand for that game over the
+	// forecast horizon, in units of one server's capacity (a value of 2.0
+	// means "two servers' worth of this game").
+	Games      []string
+	GameDemand []float64
+}
+
+// FleetSummarizer is an optional LoadSummarizer refinement: FleetLoadInto
+// fills the extended per-game summary into caller storage. Implementations
+// are expected to be incremental — a poll over an unchanged fleet should cost
+// per-server revision probes, not a full demand-timeline rescan — so callers
+// may poll continuously. Like ClusterLoad it is a serial entry point.
+type FleetSummarizer interface {
+	FleetLoadInto(servers []*Server, out *FleetLoad) bool
+}
+
 // placementChunk is the fleet-scan granularity: servers are scored in
 // fixed 32-wide chunks so a parallel scan keeps every worker busy on a
 // 1k-server fleet while the chunk boundaries (and hence per-chunk scratch

@@ -1,0 +1,286 @@
+package scheduler
+
+import (
+	"math"
+	"testing"
+
+	"cocg/internal/gamesim"
+	"cocg/internal/platform"
+	"cocg/internal/resources"
+)
+
+// cloneFleetLoad deep-copies a summary so checkpoints survive the reused
+// output buffer being overwritten by the next poll.
+func cloneFleetLoad(fl platform.FleetLoad) platform.FleetLoad {
+	out := fl
+	out.Games = append([]string(nil), fl.Games...)
+	out.GameDemand = append([]float64(nil), fl.GameDemand...)
+	return out
+}
+
+// requireBitIdentical fails unless two summaries agree exactly — float
+// fields compared by bits, not tolerance. This is the accountant's core
+// guarantee: the fixed-topology tree makes the incremental path reproduce a
+// full recompute to the last bit, no matter which servers changed.
+func requireBitIdentical(t *testing.T, label string, got, want platform.FleetLoad) {
+	t.Helper()
+	if got.Servers != want.Servers || got.Active != want.Active ||
+		got.Idle != want.Idle || got.Draining != want.Draining {
+		t.Fatalf("%s: counts diverged:\n got %+v\nwant %+v", label, got, want)
+	}
+	if math.Float64bits(got.MeanHeadroom) != math.Float64bits(want.MeanHeadroom) {
+		t.Fatalf("%s: mean headroom bits diverged: %x (%.17g) vs %x (%.17g)",
+			label, math.Float64bits(got.MeanHeadroom), got.MeanHeadroom,
+			math.Float64bits(want.MeanHeadroom), want.MeanHeadroom)
+	}
+	if len(got.Games) != len(want.Games) || len(got.GameDemand) != len(want.GameDemand) {
+		t.Fatalf("%s: game breakdown shape diverged:\n got %+v\nwant %+v", label, got, want)
+	}
+	for i := range got.Games {
+		if got.Games[i] != want.Games[i] {
+			t.Fatalf("%s: game order diverged: %v vs %v", label, got.Games, want.Games)
+		}
+		if math.Float64bits(got.GameDemand[i]) != math.Float64bits(want.GameDemand[i]) {
+			t.Fatalf("%s: demand[%s] bits diverged: %.17g vs %.17g",
+				label, got.Games[i], got.GameDemand[i], want.GameDemand[i])
+		}
+	}
+}
+
+// fleetChurnScenario drives one cluster through admission, forecast
+// progression, drain flips, session endings, and membership churn (grow,
+// shrink, replace), polling the incremental accountant at every checkpoint.
+// Each poll is verified bit-identical to a from-scratch recompute by an
+// independent policy instance (so the incremental chain under test is never
+// reset), and the per-checkpoint summaries are returned for cross-jobs
+// comparison.
+func fleetChurnScenario(t *testing.T, jobs int) []platform.FleetLoad {
+	t.Helper()
+	specs := []*gamesim.GameSpec{gamesim.Contra(), gamesim.GenshinImpact()}
+	p := policyFor(t, specs...)
+	ref := policyFor(t, specs...)
+	c := platform.NewCluster(6, p)
+	c.Jobs = jobs
+
+	var out, full platform.FleetLoad
+	var snaps []platform.FleetLoad
+	checkpoint := func(label string) {
+		t.Helper()
+		if !p.FleetLoadInto(c.Servers, &out) {
+			t.Fatalf("%s: FleetLoadInto returned false", label)
+		}
+		if !ref.FleetLoadFull(c.Servers, &full) {
+			t.Fatalf("%s: FleetLoadFull returned false", label)
+		}
+		requireBitIdentical(t, label, out, full)
+		// The legacy linear scan accumulates headroom in a different order
+		// than the pairwise tree, so it agrees to rounding, not bits.
+		head, ok := ref.ClusterLoadFullScan(c.Servers)
+		if !ok {
+			t.Fatalf("%s: ClusterLoadFullScan returned false", label)
+		}
+		if math.Abs(head-out.MeanHeadroom) > 1e-9 {
+			t.Fatalf("%s: tree mean %.17g vs linear full scan %.17g", label, out.MeanHeadroom, head)
+		}
+		snaps = append(snaps, cloneFleetLoad(out))
+	}
+	tick := func(n int) {
+		for i := 0; i < n; i++ {
+			c.Tick()
+		}
+	}
+
+	checkpoint("empty")
+	if out.Active != 6 || out.Idle != 6 || out.Draining != 0 {
+		t.Fatalf("empty cluster counts: %+v", out)
+	}
+
+	for i := 0; i < 8; i++ {
+		c.Submit(platform.Arrival{Spec: specs[i%2], Script: 0, Habit: int64(100 + i), SessionSeed: int64(100 + i)})
+	}
+	tick(5)
+	checkpoint("admitted")
+	tick(30)
+	checkpoint("forecasts advanced")
+
+	c.Drain(2)
+	checkpoint("one draining")
+	if out.Draining != 1 || out.Active != len(c.Servers)-1 {
+		t.Fatalf("drain counts: %+v", out)
+	}
+	c.Drain(3)
+	c.Undrain(2)
+	tick(7)
+	checkpoint("drain moved")
+
+	tick(400)
+	checkpoint("sessions ended")
+
+	c.Servers = append(c.Servers, platform.NewServer(100, resources.FullServer, c.Clock))
+	checkpoint("grew")
+	tick(10)
+	checkpoint("ticked after growth")
+
+	c.Servers = c.Servers[:5]
+	checkpoint("shrank")
+
+	c.Servers[0] = platform.NewServer(101, resources.FullServer, c.Clock)
+	checkpoint("replaced")
+	tick(10)
+	checkpoint("ticked after replace")
+
+	return snaps
+}
+
+// TestFleetLoadMatchesFullRecompute is the equivalence gate: under
+// admission, forecast progression, drain flips, session endings, and
+// membership churn, the incremental summary must stay bit-identical to a
+// full recompute — and identical across -jobs settings, since the accountant
+// runs on the serial entry points only.
+func TestFleetLoadMatchesFullRecompute(t *testing.T) {
+	serial := fleetChurnScenario(t, 1)
+	parallel := fleetChurnScenario(t, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("checkpoint counts diverged: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		requireBitIdentical(t, "jobs 1 vs 8", parallel[i], serial[i])
+	}
+}
+
+// TestClusterLoadDelegatesToAccountant pins that the coordinator-facing
+// scalar is exactly the accountant's mean headroom.
+func TestClusterLoadDelegatesToAccountant(t *testing.T) {
+	spec := gamesim.Contra()
+	p := policyFor(t, spec)
+	c := platform.NewCluster(4, p)
+	for i := 0; i < 4; i++ {
+		c.Submit(platform.Arrival{Spec: spec, Script: 0, Habit: int64(10 + i), SessionSeed: int64(10 + i)})
+	}
+	for i := 0; i < 20; i++ {
+		c.Tick()
+	}
+	head, ok := p.ClusterLoad(c.Servers)
+	if !ok {
+		t.Fatal("ClusterLoad returned false")
+	}
+	var fl platform.FleetLoad
+	if !p.FleetLoadInto(c.Servers, &fl) {
+		t.Fatal("FleetLoadInto returned false")
+	}
+	if math.Float64bits(head) != math.Float64bits(fl.MeanHeadroom) {
+		t.Fatalf("ClusterLoad %.17g != accountant mean %.17g", head, fl.MeanHeadroom)
+	}
+}
+
+// TestFleetLoadSteadyStateAllocationFree is the poll-path allocation gate:
+// once warm, a summary over an unchanged fleet performs zero heap
+// allocations — the revision probes, the tree reads, and the reused output
+// buffer all live in pre-grown storage.
+func TestFleetLoadSteadyStateAllocationFree(t *testing.T) {
+	spec := gamesim.GenshinImpact()
+	p := policyFor(t, spec)
+	c := platform.NewCluster(64, p)
+	for i := 0; i < len(c.Servers); i += 4 {
+		for k := 0; k < 2; k++ {
+			c.Submit(platform.Arrival{Spec: spec, Script: 0, Habit: int64(i*10 + k), SessionSeed: int64(i*10 + k)})
+		}
+	}
+	for i := 0; i < 30; i++ {
+		c.Tick()
+	}
+	var out platform.FleetLoad
+	p.FleetLoadInto(c.Servers, &out) // warm caches, memos, tree, output buffer
+	p.FleetLoadInto(c.Servers, &out)
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.FleetLoadInto(c.Servers, &out)
+	}); allocs != 0 {
+		t.Errorf("steady-state FleetLoadInto allocates %.1f objects per poll, want 0", allocs)
+	}
+	p.ClusterLoad(c.Servers)
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.ClusterLoad(c.Servers)
+	}); allocs != 0 {
+		t.Errorf("steady-state ClusterLoad allocates %.1f objects per poll, want 0", allocs)
+	}
+}
+
+// TestCacheSweepEvictsRemovedServers covers the satellite fix for the
+// pointer-keyed cache map: replacing fleet members must not pin their old
+// caches forever. The sweep is amortized, so the map may briefly exceed the
+// live set, but it must stay bounded under sustained churn and keep the live
+// servers' caches.
+func TestCacheSweepEvictsRemovedServers(t *testing.T) {
+	spec := gamesim.Contra()
+	p := policyFor(t, spec)
+	c := platform.NewCluster(2, p)
+	bound := 2*len(c.Servers) + cacheSweepSlack + 1
+	for i := 0; i < 300; i++ {
+		c.Servers[0] = platform.NewServer(1000+i, resources.FullServer, c.Clock)
+		if _, ok := p.ClusterLoad(c.Servers); !ok {
+			t.Fatal("ClusterLoad returned false")
+		}
+		if len(p.caches) > bound {
+			t.Fatalf("after %d replacements the cache map holds %d entries (bound %d): sweep not working", i+1, len(p.caches), bound)
+		}
+	}
+	for _, srv := range c.Servers {
+		if p.caches[srv] == nil {
+			t.Errorf("sweep evicted the cache of a live server %d", srv.ID)
+		}
+	}
+}
+
+// TestFleetLoadGameDemandAttribution sanity-checks the per-game breakdown:
+// an idle fleet predicts zero demand, hosting sessions of one game raises
+// that game's demand and no other's, and draining servers keep contributing
+// demand (their sessions still consume) while leaving the active pool.
+func TestFleetLoadGameDemandAttribution(t *testing.T) {
+	contra, genshin := gamesim.Contra(), gamesim.GenshinImpact()
+	p := policyFor(t, contra, genshin)
+	c := platform.NewCluster(4, p)
+
+	var fl platform.FleetLoad
+	p.FleetLoadInto(c.Servers, &fl)
+	if len(fl.Games) != 2 || fl.Games[0] != "Contra" || fl.Games[1] != "Genshin Impact" {
+		t.Fatalf("games list %v, want sorted trained names", fl.Games)
+	}
+	for i, d := range fl.GameDemand {
+		if d != 0 {
+			t.Fatalf("idle fleet predicts demand %v for %s", d, fl.Games[i])
+		}
+	}
+
+	gi := -1
+	for i, g := range fl.Games {
+		if g == genshin.Name {
+			gi = i
+		}
+	}
+	for i := 0; i < 3; i++ {
+		c.Submit(platform.Arrival{Spec: genshin, Script: 0, Habit: int64(50 + i), SessionSeed: int64(50 + i)})
+	}
+	for i := 0; i < 20; i++ {
+		c.Tick()
+	}
+	p.FleetLoadInto(c.Servers, &fl)
+	if fl.GameDemand[gi] <= 0 {
+		t.Errorf("hosted Genshin sessions predict demand %v, want > 0", fl.GameDemand[gi])
+	}
+	if fl.GameDemand[1-gi] != 0 {
+		t.Errorf("unhosted game shows demand %v", fl.GameDemand[1-gi])
+	}
+
+	before := fl.GameDemand[gi]
+	for _, srv := range c.Servers {
+		srv.Draining = true
+	}
+	p.FleetLoadInto(c.Servers, &fl)
+	if fl.Active != 0 || fl.Draining != len(c.Servers) || fl.MeanHeadroom != 0 {
+		t.Errorf("all-draining summary: %+v", fl)
+	}
+	if math.Abs(fl.GameDemand[gi]-before) > 1e-12 {
+		t.Errorf("draining dropped demand from %v to %v; sessions still consume", before, fl.GameDemand[gi])
+	}
+}

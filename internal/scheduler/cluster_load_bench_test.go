@@ -1,24 +1,21 @@
 package scheduler
 
 import (
+	"fmt"
 	"testing"
 
 	"cocg/internal/gamesim"
 	"cocg/internal/platform"
 )
 
-// BenchmarkClusterLoad measures the per-cluster load summary the coordinator
-// tier polls: a full forecast-backed headroom rollup over a 256-server
-// cluster hosting live sessions. Steady state rides the PR 4 per-server
-// caches — one revision check per server, recompute only where placements
-// moved — so this is the cost a summary feed adds to a cluster every probe
-// period.
-func BenchmarkClusterLoad(b *testing.B) {
+// buildLoadedCluster populates every 4th server of an n-server cluster with
+// two live sessions and lets their controllers tick so the demand forecasts
+// are realistic — the shared fixture for every cluster-summary benchmark.
+func buildLoadedCluster(b *testing.B, n int) (*CoCG, *platform.Cluster) {
+	b.Helper()
 	spec := gamesim.GenshinImpact()
 	p := policyFor(b, spec)
-	c := platform.NewCluster(256, p)
-	// Populate every 4th server with two live sessions and let their
-	// controllers tick so the demand forecasts are realistic.
+	c := platform.NewCluster(n, p)
 	for i := 0; i < len(c.Servers); i += 4 {
 		for k := int64(0); k < 2; k++ {
 			id := int64(i)*10 + k
@@ -36,6 +33,16 @@ func BenchmarkClusterLoad(b *testing.B) {
 	for j := 0; j < 30; j++ {
 		c.Tick()
 	}
+	return p, c
+}
+
+// BenchmarkClusterLoad measures the per-cluster load summary the coordinator
+// tier polls at the original 256-server scale: since PR 10 it rides the
+// incremental fleet accountant, so steady state costs one revision probe per
+// server plus tree reads — compare BenchmarkClusterLoadFullScan for the
+// legacy rescan it replaced.
+func BenchmarkClusterLoad(b *testing.B) {
+	p, c := buildLoadedCluster(b, 256)
 	if _, ok := p.ClusterLoad(c.Servers); !ok {
 		b.Fatal("CoCG did not implement ClusterLoad")
 	}
@@ -45,4 +52,70 @@ func BenchmarkClusterLoad(b *testing.B) {
 		p.ClusterLoad(c.Servers)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "summaries/s")
+}
+
+// BenchmarkClusterLoadFullScan is the pre-accountant baseline: the full
+// horizon×dims headroom rescan over every server, at 256/1024/4096 servers.
+// Recorded first by `make bench-fleet` and embedded as the baseline of
+// BENCH_PR10.json.
+func BenchmarkClusterLoadFullScan(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("servers=%d", n), func(b *testing.B) {
+			p, c := buildLoadedCluster(b, n)
+			p.ClusterLoadFullScan(c.Servers) // warm the forecast caches
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.ClusterLoadFullScan(c.Servers)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "summaries/s")
+		})
+	}
+}
+
+// BenchmarkFleetLoadSteady is the accountant's steady-state poll at
+// 256/1024/4096 servers: nothing changed since the last summary, so the cost
+// is the per-server revision probes alone — the continuous-poll rate ROADMAP
+// item 2's autoscaler budget assumes. Must stay at 0 allocs/op (the
+// equivalence and allocation gates in accountant_test.go enforce the
+// semantics; this records the speed).
+func BenchmarkFleetLoadSteady(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("servers=%d", n), func(b *testing.B) {
+			p, c := buildLoadedCluster(b, n)
+			var out platform.FleetLoad
+			p.FleetLoadInto(c.Servers, &out) // warm caches, memos, tree
+			p.FleetLoadInto(c.Servers, &out)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.FleetLoadInto(c.Servers, &out)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "summaries/s")
+		})
+	}
+}
+
+// BenchmarkFleetLoadChurn polls after one simulated second advances the
+// cluster (forecast revisions move on detection-frame boundaries, dirtying
+// the loaded quarter of the fleet), so the measured cost is the O(dirty)
+// leaf recomputes plus their log-depth refolds — the accountant's worst
+// realistic round. The tick itself runs outside the timer.
+func BenchmarkFleetLoadChurn(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("servers=%d", n), func(b *testing.B) {
+			p, c := buildLoadedCluster(b, n)
+			var out platform.FleetLoad
+			p.FleetLoadInto(c.Servers, &out)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				c.Tick()
+				b.StartTimer()
+				p.FleetLoadInto(c.Servers, &out)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "summaries/s")
+		})
+	}
 }

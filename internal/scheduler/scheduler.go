@@ -16,6 +16,7 @@ package scheduler
 
 import (
 	"fmt"
+	"sort"
 
 	"cocg/internal/gamesim"
 	"cocg/internal/platform"
@@ -86,23 +87,48 @@ type CoCG struct {
 
 	// caches holds one aggregate-forecast cache per server this policy has
 	// evaluated. A Policy is per-cluster (see the package comment), so the
-	// map can key on server identity.
+	// map can key on server identity. Entries for servers that have left the
+	// fleet are evicted by sweepCaches, keyed on the epoch stamp below.
 	caches map[*platform.Server]*serverCache
+	// cacheEpoch is bumped by each sweep; live caches are stamped with it so
+	// stale entries (whose stamp lags) can be deleted.
+	cacheEpoch uint64
 	// scratch serves the serial entry points (Admit, Score).
 	scratch EvalScratch
+
+	// games lists the trained game names in sorted order; gameIdx inverts it.
+	// The fleet accountant's per-game demand columns use these indices, and
+	// FleetLoad.Games aliases the slice (immutable after New).
+	games   []string
+	gameIdx map[string]int
+	// acct is the incremental fleet accountant (see accountant.go); fleet is
+	// the reusable output ClusterLoad delegates through.
+	acct  fleetAccountant
+	fleet platform.FleetLoad
 }
 
 // New builds the policy from the offline training bundles of every game the
 // platform may host.
 func New(bundles []*predictor.Trained, cfg Config) *CoCG {
 	m := make(map[string]*predictor.Trained, len(bundles))
+	games := make([]string, 0, len(bundles))
 	for _, b := range bundles {
+		if _, dup := m[b.Spec.Name]; !dup {
+			games = append(games, b.Spec.Name)
+		}
 		m[b.Spec.Name] = b
+	}
+	sort.Strings(games)
+	idx := make(map[string]int, len(games))
+	for i, g := range games {
+		idx[g] = i
 	}
 	return &CoCG{
 		trained: m,
 		cfg:     cfg.withDefaults(),
 		caches:  map[*platform.Server]*serverCache{},
+		games:   games,
+		gameIdx: idx,
 	}
 }
 
@@ -156,6 +182,18 @@ type serverCache struct {
 	// the candidate's immutable training bundle, so within one set of stamps
 	// repeated pending arrivals of the same game cost O(1) after the first.
 	memo map[string]evalMemo
+
+	// seen stamps the cache with the epoch of the last sweep that found its
+	// server in the fleet; sweepCaches evicts entries whose stamp lags.
+	seen uint64
+
+	// Fleet-accounting memo (see accountant.go): the server's headroom and
+	// per-game demand contributions under the stamps above. loadValid is
+	// cleared on every rebuild — the admission path never pays for it; the
+	// accountant computes it lazily on first summary after a change.
+	loadValid  bool
+	headroom   float64
+	gameDemand []float64
 }
 
 // evalMemo is one memoized evaluate verdict.
@@ -174,6 +212,7 @@ const peakSlack = 1e-6
 // cache structs for every server serially, so the concurrent scoring scan
 // never writes the map.
 func (c *CoCG) PreparePlacement(servers []*platform.Server) {
+	c.sweepCaches(servers)
 	for _, srv := range servers {
 		if _, ok := c.caches[srv]; !ok {
 			c.caches[srv] = &serverCache{}
@@ -192,6 +231,7 @@ func (c *CoCG) refresh(cc *serverCache, srv *platform.Server, h int, es *EvalScr
 	cc.rev = srv.Rev()
 	cc.horizon = h
 	cc.cacheable = true
+	cc.loadValid = false
 	clear(cc.memo)
 	cc.hostedRevs = cc.hostedRevs[:0]
 	cc.hostedPeaks = cc.hostedPeaks[:0]
@@ -450,15 +490,24 @@ func (c *CoCG) verdict(cc *serverCache, srv *platform.Server, b *predictor.Train
 }
 
 // ClusterLoad implements platform.LoadSummarizer: the per-cluster summary
-// the coordinator tier routes on. It reuses the distributor's stamped
-// per-server forecast caches — the same aggregate demand timelines Algorithm
-// 1 admits against — so computing a fleet summary costs one cache
-// revalidation per server in steady state, not a re-forecast. A server's
-// headroom is 1 minus its worst predicted per-dimension utilization fraction
-// over the horizon (clamped at 0); the cluster's headroom is the mean over
-// non-draining servers. Like Admit and Score this is a serial entry point:
+// the coordinator tier routes on. A server's headroom is 1 minus its worst
+// predicted per-dimension utilization fraction over the horizon (clamped at
+// 0); the cluster's headroom is the mean over non-draining servers. Since
+// PR 10 it delegates to the incremental fleet accountant (accountant.go), so
+// a steady-state poll costs one revision probe per server instead of a
+// horizon×dims rescan. Like Admit and Score this is a serial entry point:
 // it may refresh caches through the policy's own scratch.
 func (c *CoCG) ClusterLoad(servers []*platform.Server) (float64, bool) {
+	c.FleetLoadInto(servers, &c.fleet)
+	return c.fleet.MeanHeadroom, true
+}
+
+// ClusterLoadFullScan is the pre-accountant ClusterLoad, kept verbatim as
+// the benchmark baseline and the reference the equivalence tests compare the
+// incremental path against (linear accumulation order, so means agree with
+// the tree's pairwise order to rounding, not bitwise — the bitwise gate is
+// FleetLoadFull, which rebuilds the same tree from scratch).
+func (c *CoCG) ClusterLoadFullScan(servers []*platform.Server) (float64, bool) {
 	h := c.cfg.HorizonFrames
 	var sum float64
 	n := 0

@@ -66,7 +66,9 @@ func (s *Server) snapshot() snapshot {
 	out.FramesDropped = s.framesDropped.Load()
 	out.ShardContention = s.reg.contention.Load()
 	out.SessionsJSON = s.protoSessions[ProtoJSON].Load()
-	out.SessionsBinary = s.protoSessions[ProtoBinary].Load()
+	// Both binary layouts (v2 and the extended-summary v3) are one framing
+	// to the operator.
+	out.SessionsBinary = s.protoSessions[ProtoBinary].Load() + s.protoSessions[ProtoBinary3].Load()
 	out.SummariesServed = s.summariesServed.Load()
 	return out
 }

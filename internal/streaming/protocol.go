@@ -175,6 +175,16 @@ type ClusterSummary struct {
 	// UtilPct is the current mean of per-server worst-dimension utilization,
 	// in percent — the reactive complement to the forecast-backed Headroom.
 	UtilPct float64 `json:"util_pct"`
+	// IdleServers counts non-draining servers hosting zero sessions — the
+	// pool an autoscaler can drain without migrating anything. Carried on
+	// the wire from version ProtoBinary3 (JSON always carries it).
+	IdleServers int `json:"idle_servers,omitempty"`
+	// Games and GameDemand break predicted demand out per game: GameDemand[i]
+	// is the fleet's predicted demand for Games[i] over the forecast horizon,
+	// in units of one server's capacity. Populated when the policy implements
+	// platform.FleetSummarizer; carried on the wire from ProtoBinary3.
+	Games      []string  `json:"games,omitempty"`
+	GameDemand []float64 `json:"game_demand,omitempty"`
 }
 
 // wirebufPool recycles the per-connection binary codec buffers across
@@ -213,7 +223,7 @@ func (c *Conn) SetProto(p int) {
 		return
 	}
 	c.proto = p
-	if p == ProtoBinary {
+	if p >= ProtoBinary {
 		if c.wbuf == nil {
 			c.wbuf = wirebufPool.Get().([]byte)[:0] //cocg:lint-ignore poolcheck connection-lifetime borrow; Conn.Release returns both buffers to the pool
 		}
@@ -225,10 +235,10 @@ func (c *Conn) SetProto(p int) {
 
 // Send writes one envelope in the connection's current framing.
 func (c *Conn) Send(e *Envelope) error {
-	if c.proto != ProtoBinary {
+	if c.proto < ProtoBinary {
 		return c.enc.Encode(e)
 	}
-	buf, err := e.AppendTo(c.wbuf[:0])
+	buf, err := e.AppendToProto(c.wbuf[:0], c.proto)
 	if err != nil {
 		return err
 	}
@@ -252,7 +262,7 @@ func (c *Conn) Recv() (*Envelope, error) {
 // time. Payloads of non-matching types are detached, and e is left untouched
 // on error.
 func (c *Conn) RecvInto(e *Envelope) error {
-	if c.proto != ProtoBinary {
+	if c.proto < ProtoBinary {
 		line, err := c.r.ReadBytes('\n')
 		if err != nil {
 			return err
@@ -281,7 +291,7 @@ func (c *Conn) RecvInto(e *Envelope) error {
 	if _, err := io.ReadFull(c.r, body); err != nil {
 		return err
 	}
-	return e.DecodeFrom(body)
+	return e.DecodeFromProto(body, c.proto)
 }
 
 // Close closes the underlying connection. It is safe to call while a reader

@@ -90,6 +90,10 @@ type Server struct {
 	tickSnap     []*liveSession
 	tickBoundary bool
 	tickBody     func(chunk, lo, hi int)
+
+	// fleetLoad is the reusable output buffer for the policy's incremental
+	// fleet summary; guarded by clusterMu like the cluster itself.
+	fleetLoad platform.FleetLoad
 }
 
 // liveSession ties a hosted game to its client connection. Fields written
@@ -517,8 +521,11 @@ func (s *Server) serveSummaryFeed(conn *Conn, req *SummaryReq) {
 // per-cluster rollup the coordinator tier routes sessions on. Headroom comes
 // from the policy's forecast caches when it implements
 // platform.LoadSummarizer (the CoCG distributor's stamped per-server demand
-// timelines); for policies without forward-looking state it falls back to
-// 1 − mean worst-dimension utilization.
+// timelines); policies that additionally implement platform.FleetSummarizer
+// (CoCG's incremental accountant) also fill the extended fields — idle
+// server count and the per-game predicted-demand breakdown. For policies
+// without forward-looking state it falls back to 1 − mean worst-dimension
+// utilization.
 func (s *Server) LoadSummary() ClusterSummary {
 	s.clusterMu.Lock()
 	defer s.clusterMu.Unlock()
@@ -545,6 +552,19 @@ func (s *Server) LoadSummary() ClusterSummary {
 	}
 	if n := len(s.cluster.Servers); n > 0 {
 		sum.UtilPct = utilSum / float64(n)
+	}
+	if fs, ok := s.cluster.Policy.(platform.FleetSummarizer); ok {
+		if fs.FleetLoadInto(s.cluster.Servers, &s.fleetLoad) {
+			fl := &s.fleetLoad
+			sum.Headroom = fl.MeanHeadroom
+			sum.IdleServers = fl.Idle
+			// Games is the summarizer's immutable sorted list (safe to
+			// alias); GameDemand is the reused poll buffer the next
+			// LoadSummary overwrites, so the escaping summary gets a copy.
+			sum.Games = fl.Games
+			sum.GameDemand = append([]float64(nil), fl.GameDemand...)
+			return sum
+		}
 	}
 	if ls, ok := s.cluster.Policy.(platform.LoadSummarizer); ok {
 		if head, ok := ls.ClusterLoad(s.cluster.Servers); ok {

@@ -22,8 +22,8 @@ func TestSessionSpeaksBinaryByDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.Proto != ProtoBinary {
-		t.Fatalf("negotiated proto %d, want binary", stats.Proto)
+	if stats.Proto != ProtoBinary3 {
+		t.Fatalf("negotiated proto %d, want newest binary", stats.Proto)
 	}
 	if stats.Frames == 0 || stats.Final.DurationSec == 0 {
 		t.Fatalf("binary session streamed nothing: %+v", stats)

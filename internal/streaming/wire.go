@@ -19,9 +19,14 @@ const (
 	ProtoJSON = 1
 	// ProtoBinary is the length-prefixed binary framing (version 2).
 	ProtoBinary = 2
+	// ProtoBinary3 is the same binary framing with the extended
+	// ClusterSummary layout (version 3): idle-server count and the per-game
+	// predicted-demand breakdown the fleet accountant produces. Every other
+	// message tag is byte-identical to version 2.
+	ProtoBinary3 = 3
 
 	// maxKnownProto is the newest version this build speaks.
-	maxKnownProto = ProtoBinary
+	maxKnownProto = ProtoBinary3
 )
 
 // NegotiateProto resolves the version both ends of a handshake speak:
@@ -71,13 +76,20 @@ const (
 
 var errWireTruncated = errors.New("streaming: truncated binary frame")
 
-// AppendTo appends the envelope as one complete binary frame (length prefix
-// included) to buf and returns the extended slice. It never allocates when
-// buf has sufficient capacity, so hot paths can reuse one buffer per
-// connection across every send.
+// AppendTo appends the envelope as one complete binary frame in the newest
+// layout this build speaks. Connections use AppendToProto with their
+// negotiated version.
+func (e *Envelope) AppendTo(buf []byte) ([]byte, error) {
+	return e.AppendToProto(buf, maxKnownProto)
+}
+
+// AppendToProto appends the envelope as one complete binary frame (length
+// prefix included) in the layout of wire version proto, and returns the
+// extended slice. It never allocates when buf has sufficient capacity, so
+// hot paths can reuse one buffer per connection across every send.
 //
 //cocg:hot
-func (e *Envelope) AppendTo(buf []byte) ([]byte, error) {
+func (e *Envelope) AppendToProto(buf []byte, proto int) ([]byte, error) {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // length prefix, patched below
 	var err error
@@ -150,6 +162,18 @@ func (e *Envelope) AppendTo(buf []byte) ([]byte, error) {
 		buf = appendSvarint(buf, int64(sm.Completed))
 		buf = appendFloat(buf, sm.Headroom)
 		buf = appendFloat(buf, sm.UtilPct)
+		if proto >= ProtoBinary3 {
+			if len(sm.Games) != len(sm.GameDemand) {
+				err = fmt.Errorf("streaming: summary has %d games but %d demand entries", len(sm.Games), len(sm.GameDemand)) //cocg:lint-ignore hotalloc error path; boxing only happens on a malformed summary
+				break
+			}
+			buf = appendSvarint(buf, int64(sm.IdleServers))
+			buf = binary.AppendUvarint(buf, uint64(len(sm.Games)))
+			for i, g := range sm.Games {
+				buf = appendString(buf, g)
+				buf = appendFloat(buf, sm.GameDemand[i])
+			}
+		}
 	default:
 		err = fmt.Errorf("streaming: cannot encode message type %q", e.Type) //cocg:lint-ignore hotalloc error path; boxing for %q only happens on an unencodable type
 	}
@@ -164,15 +188,22 @@ func (e *Envelope) AppendTo(buf []byte) ([]byte, error) {
 	return buf, nil
 }
 
-// DecodeFrom decodes one binary frame body (tag + payload, without the
-// length prefix) into e. Payload structs already attached to e are reused —
-// including the FrameBatch.Frames and InputBatch.Codes backing arrays — so a
-// pooled envelope decodes with zero allocations in steady state; payload
-// pointers of other message types are cleared. Corrupt input yields an
-// error, never a panic, and never a partially valid envelope.
+// DecodeFrom decodes one binary frame body in the newest layout this build
+// speaks. Connections use DecodeFromProto with their negotiated version.
+func (e *Envelope) DecodeFrom(data []byte) error {
+	return e.DecodeFromProto(data, maxKnownProto)
+}
+
+// DecodeFromProto decodes one binary frame body (tag + payload, without the
+// length prefix) in the layout of wire version proto into e. Payload structs
+// already attached to e are reused — including the FrameBatch.Frames and
+// InputBatch.Codes backing arrays — so a pooled envelope decodes with zero
+// allocations in steady state; payload pointers of other message types are
+// cleared. Corrupt input yields an error, never a panic, and never a
+// partially valid envelope.
 //
 //cocg:hot
-func (e *Envelope) DecodeFrom(data []byte) error {
+func (e *Envelope) DecodeFromProto(data []byte, proto int) error {
 	if len(data) == 0 {
 		return errWireTruncated
 	}
@@ -315,6 +346,30 @@ func (e *Envelope) DecodeFrom(data []byte) error {
 		sm.Completed = int(r.svarint())
 		sm.Headroom = r.float()
 		sm.UtilPct = r.float()
+		if proto >= ProtoBinary3 {
+			sm.IdleServers = int(r.svarint())
+			n := int(r.uvarint())
+			if n < 0 || n > r.remaining() {
+				return r.fail()
+			}
+			games := sm.Games[:0]
+			demand := sm.GameDemand[:0]
+			for i := 0; i < n; i++ {
+				games = append(games, r.str())
+				demand = append(demand, r.float())
+			}
+			if len(games) == 0 {
+				games, demand = nil, nil
+			}
+			sm.Games = games
+			sm.GameDemand = demand
+		} else {
+			// Older layouts cannot carry the extended fields; clear any
+			// leftovers from a reused payload struct.
+			sm.IdleServers = 0
+			sm.Games = nil
+			sm.GameDemand = nil
+		}
 		if !r.done() {
 			return r.fail()
 		}

@@ -27,6 +27,8 @@ func wireEnvelopes() []*Envelope {
 		{Type: MsgSummary, Summary: &ClusterSummary{
 			Proto: ProtoBinary, Servers: 16, Draining: 2, LiveSessions: 41,
 			Pending: 3, Placements: 977, Completed: 936, Headroom: 0.375, UtilPct: 61.5,
+			IdleServers: 4, Games: []string{"Contra", "Genshin Impact"},
+			GameDemand: []float64{0.5, 3.25},
 		}},
 	}
 }
@@ -126,13 +128,77 @@ func TestNegotiateProto(t *testing.T) {
 		{ProtoBinary, ProtoBinary, ProtoBinary},
 		{ProtoJSON, ProtoBinary, ProtoJSON}, // client pinned to JSON
 		{ProtoBinary, ProtoJSON, ProtoJSON}, // server pinned to JSON
-		{99, 99, ProtoBinary},               // future versions cap at known
-		{-3, ProtoBinary, ProtoJSON},        // nonsense advertises as legacy
+		{99, 99, ProtoBinary3},              // future versions cap at known
+		{ProtoBinary3, ProtoBinary3, ProtoBinary3},
+		{ProtoBinary, ProtoBinary3, ProtoBinary}, // v2 peer holds the pair at v2
+		{-3, ProtoBinary, ProtoJSON},             // nonsense advertises as legacy
 	}
 	for _, c := range cases {
 		if got := NegotiateProto(c.client, c.server); got != c.want {
 			t.Errorf("NegotiateProto(%d, %d) = %d, want %d", c.client, c.server, got, c.want)
 		}
+	}
+}
+
+// TestSummaryCrossVersion pins the v2/v3 summary layouts against each other:
+// a v2 frame carries no extended fields (and decoding one must clear any
+// stale extended fields in a reused payload), a v3 frame round-trips them,
+// and a summary whose Games and GameDemand disagree in length refuses to
+// encode rather than writing a frame its peer cannot parse.
+func TestSummaryCrossVersion(t *testing.T) {
+	full := &Envelope{Type: MsgSummary, Summary: &ClusterSummary{
+		Servers: 8, LiveSessions: 20, Headroom: 0.5, UtilPct: 40,
+		IdleServers: 3, Games: []string{"Contra"}, GameDemand: []float64{1.25},
+	}}
+
+	v2, err := full.AppendToProto(nil, ProtoBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := full.AppendToProto(nil, ProtoBinary3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2) >= len(v3) {
+		t.Fatalf("v3 frame (%d bytes) should extend the v2 frame (%d bytes)", len(v3), len(v2))
+	}
+
+	// v3 round trip keeps the extended fields.
+	var out Envelope
+	if err := out.DecodeFromProto(v3[4:], ProtoBinary3); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, &out) {
+		t.Errorf("v3 round trip changed the summary:\n in: %+v\nout: %+v", full.Summary, out.Summary)
+	}
+
+	// Decoding the v2 frame into the same (reused) envelope must clear the
+	// extended fields a previous v3 decode left behind.
+	if err := out.DecodeFromProto(v2[4:], ProtoBinary); err != nil {
+		t.Fatal(err)
+	}
+	sm := out.Summary
+	if sm.IdleServers != 0 || sm.Games != nil || sm.GameDemand != nil {
+		t.Errorf("v2 decode left extended fields set: %+v", sm)
+	}
+	if sm.Servers != 8 || sm.Headroom != 0.5 {
+		t.Errorf("v2 decode lost base fields: %+v", sm)
+	}
+
+	// A v3 decoder must reject the shorter v2 body (truncated extension).
+	if err := out.DecodeFromProto(v2[4:], ProtoBinary3); err == nil {
+		t.Error("v3 decode accepted a v2-layout summary frame")
+	}
+	// And a v2 decoder must reject the longer v3 body (trailing bytes).
+	if err := out.DecodeFromProto(v3[4:], ProtoBinary); err == nil {
+		t.Error("v2 decode accepted a v3-layout summary frame")
+	}
+
+	bad := &Envelope{Type: MsgSummary, Summary: &ClusterSummary{
+		Games: []string{"Contra"}, GameDemand: []float64{1, 2},
+	}}
+	if _, err := bad.AppendToProto(nil, ProtoBinary3); err == nil {
+		t.Error("encoded a summary with mismatched Games/GameDemand lengths")
 	}
 }
 
